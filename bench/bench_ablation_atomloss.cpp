@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Extension ablation for the paper's Sec 6 atom-loss discussion:
+ * sweeps a per-shot atom-loss probability on top of the default gate
+ * noise and checks that Geyser's fidelity advantage survives realistic
+ * loss rates.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace geyser;
+using namespace geyser::bench;
+
+int
+main()
+{
+    std::printf("Ablation (Sec 6): atom loss on top of 0.1%% gate noise\n\n");
+    const std::vector<int> widths{14, 10, 10, 10};
+    printRow({"Loss rate", "Baseline", "OptiMap", "Geyser"}, widths);
+
+    for (const char *name : {"adder-4", "multiplier-5"}) {
+        const auto &spec = benchmarkByName(name);
+        std::printf("\n%s:\n", name);
+        printRule(widths);
+        const auto base = compileCached(spec, Technique::Baseline);
+        const auto opti = compileCached(spec, Technique::OptiMap);
+        const auto gey = compileCached(spec, Technique::Geyser);
+        const auto cfg = trajectoryConfig(6000);
+        for (const double loss : {0.0, 0.002, 0.01, 0.02}) {
+            NoiseModel nm = NoiseModel::paperDefault();
+            nm.atomLoss = loss;
+            char label[32];
+            std::snprintf(label, sizeof(label), "%.1f%%", loss * 100.0);
+            printRow({label, fmtTvd(evaluateTvd(base, nm, cfg)),
+                      fmtTvd(evaluateTvd(opti, nm, cfg)),
+                      fmtTvd(evaluateTvd(gey, nm, cfg))},
+                     widths);
+        }
+    }
+    std::printf("\nExpected: TVD degrades with the loss rate for every\n"
+                "technique, but the ordering Geyser <= OptiMap <= Baseline\n"
+                "is preserved at realistic (sub-percent) loss rates —\n"
+                "matching the paper's claim that Geyser's effectiveness is\n"
+                "not sensitive to atom loss.\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Extension ablation: Rydberg crosstalk (zone dephasing during
+ * multi-qubit gates) on top of the default gate noise. Geyser replaces
+ * many CZ gates with few CCZs; each CCZ's zone is slightly larger
+ * (9 vs 8 atoms) but the total number of Rydberg windows drops, so the
+ * crosstalk exposure falls with it.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace geyser;
+using namespace geyser::bench;
+
+int
+main()
+{
+    std::printf("Ablation: Rydberg crosstalk on top of 0.1%% gate noise\n\n");
+    const std::vector<int> widths{16, 10, 10};
+    for (const char *name : {"adder-4", "multiplier-5"}) {
+        const auto &spec = benchmarkByName(name);
+        std::printf("%s:\n", name);
+        printRow({"Crosstalk rate", "OptiMap", "Geyser"}, widths);
+        printRule(widths);
+        const auto opti = compileCached(spec, Technique::OptiMap);
+        const auto gey = compileCached(spec, Technique::Geyser);
+        const auto cfg = trajectoryConfig(7000);
+        for (const double ct : {0.0, 0.001, 0.005}) {
+            NoiseModel nm = NoiseModel::paperDefault();
+            nm.crosstalkPhase = ct;
+            char label[32];
+            std::snprintf(label, sizeof(label), "%.2f%%", ct * 100.0);
+            printRow({label, fmtTvd(evaluateTvd(opti, nm, cfg)),
+                      fmtTvd(evaluateTvd(gey, nm, cfg))},
+                     widths);
+        }
+        std::printf("\n");
+    }
+    std::printf("Expected: crosstalk hurts both, but Geyser's reduced\n"
+                "Rydberg-window count keeps its TVD advantage.\n");
+    return 0;
+}

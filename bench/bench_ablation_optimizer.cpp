@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation of the paper's Sec 3.4 composition optimizer: the paper's
+ * dual annealing versus this repo's rotosolve exact coordinate descent
+ * versus the hybrid default, on the blocks produced by real workloads.
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "blocking/blocker.hpp"
+#include "common.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/passes.hpp"
+#include "transpile/router.hpp"
+
+using namespace geyser;
+using namespace geyser::bench;
+
+namespace {
+
+struct Outcome
+{
+    int composed = 0;
+    int total = 0;
+    long evaluations = 0;
+    double millis = 0.0;
+};
+
+Outcome
+composeAll(const std::vector<Circuit> &blocks, ComposeOptimizer optimizer)
+{
+    Outcome out;
+    ComposeOptions opts;
+    opts.optimizer = optimizer;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto &block : blocks) {
+        const auto result = composeBlock(block, opts);
+        ++out.total;
+        if (result.composed)
+            ++out.composed;
+        out.evaluations += result.evaluations;
+    }
+    out.millis = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    // Collect the real composition workload: all blocks of the small
+    // benchmarks after mapping + optimization + blocking.
+    std::vector<Circuit> blocks;
+    for (const char *name : {"adder-4", "multiplier-5", "qft-5"}) {
+        const auto &spec = benchmarkByName(name);
+        const Circuit logical = spec.make();
+        const Topology topo = Topology::forQubits(logical.numQubits());
+        Circuit phys = decomposeToBasis(logical);
+        optimize(phys);
+        const Circuit routed = route(phys, topo).circuit;
+        const auto blocked = blockCircuit(routed, topo);
+        for (const auto &round : blocked.rounds)
+            for (const auto &block : round.blocks)
+                blocks.push_back(blocked.localCircuit(block));
+    }
+    std::printf("Ablation (Sec 3.4): composition optimizer on %zu real "
+                "blocks\n\n",
+                blocks.size());
+    const std::vector<int> widths{14, 12, 14, 12};
+    printRow({"Optimizer", "Composed", "Evaluations", "Time (ms)"}, widths);
+    printRule(widths);
+    for (const auto &[name, opt] :
+         {std::pair{"Rotosolve", ComposeOptimizer::Rotosolve},
+          std::pair{"DualAnneal", ComposeOptimizer::DualAnnealing},
+          std::pair{"Hybrid", ComposeOptimizer::Hybrid}}) {
+        const Outcome o = composeAll(blocks, opt);
+        char t[32];
+        std::snprintf(t, sizeof(t), "%.0f", o.millis);
+        printRow({name, fmtLong(o.composed) + "/" + fmtLong(o.total),
+                  fmtLong(o.evaluations), t},
+                 widths);
+    }
+    std::printf("\nExpected: rotosolve composes at least as many blocks as\n"
+                "dual annealing at a fraction of the evaluations; Hybrid\n"
+                "matches rotosolve (annealing only runs as a fallback).\n");
+    return 0;
+}

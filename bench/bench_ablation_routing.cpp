@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Routing ablation: trivial-layout shortest-path walking vs greedy
+ * initial layout vs SABRE lookahead, on the benchmark suite. Reports
+ * inserted SWAPs and resulting total pulses (each SWAP costs 3 CZ +
+ * 6 U3 before fusion).
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/passes.hpp"
+#include "transpile/sabre.hpp"
+
+using namespace geyser;
+using namespace geyser::bench;
+
+int
+main()
+{
+    std::printf("Ablation: router quality (swaps / optimized pulses)\n\n");
+    const std::vector<int> widths{14, 16, 16, 16};
+    printRow({"Benchmark", "Trivial+walk", "Greedy+walk", "Greedy+SABRE"},
+             widths);
+    printRule(widths);
+    for (const auto &spec : benchmarkSuite()) {
+        if (spec.heavy)
+            continue;
+        const Circuit logical = spec.make();
+        const Topology topo = Topology::forQubits(logical.numQubits());
+        Circuit phys = decomposeToBasis(logical);
+        optimize(phys);
+
+        auto finish = [&](RoutedCircuit routed) {
+            optimize(routed.circuit);
+            return std::make_pair(routed.swapsInserted,
+                                  routed.circuit.totalPulses());
+        };
+        const auto a = finish(route(phys, topo));
+        const auto b = finish(route(phys, topo,
+                                    chooseInitialLayout(phys, topo)));
+        const auto c = finish(routeSabre(phys, topo));
+        auto cell = [](const std::pair<int, long> &r) {
+            return fmtLong(r.first) + " / " + fmtLong(r.second);
+        };
+        printRow({spec.name, cell(a), cell(b), cell(c)}, widths);
+    }
+    std::printf("\nExpected: the greedy layout removes most SWAPs on small\n"
+                "benchmarks; SABRE matches or beats the walker when SWAPs\n"
+                "remain (congested wide circuits).\n");
+    return 0;
+}

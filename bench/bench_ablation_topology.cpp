@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation of the paper's Sec 3.2 topology choice: triangular versus
+ * diagonal-coupled square lattices. Reports the restriction-zone sizes
+ * (Fig 7's argument) and the blocking consequences (rounds and depth
+ * pulses) of running the same circuits on both.
+ */
+#include <cstdio>
+
+#include "blocking/blocker.hpp"
+#include "circuit/schedule.hpp"
+#include "common.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/passes.hpp"
+#include "transpile/router.hpp"
+
+using namespace geyser;
+using namespace geyser::bench;
+
+namespace {
+
+struct TopoResult
+{
+    int rounds = 0;
+    int blocks = 0;
+    long depth = 0;
+};
+
+TopoResult
+blockOn(const Circuit &logical, const Topology &topo)
+{
+    Circuit phys = decomposeToBasis(logical);
+    optimize(phys);
+    const Circuit routed = route(phys, topo).circuit;
+    const auto blocked = blockCircuit(routed, topo);
+    TopoResult r;
+    r.rounds = static_cast<int>(blocked.rounds.size());
+    r.blocks = blocked.blockCount();
+    r.depth = depthPulses(routed, topo);
+    return r;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Ablation (Sec 3.2): triangular vs diagonal-square "
+                "topology\n\n");
+    std::printf("Restriction zones (paper Fig 4/7):\n");
+    const auto tri = Topology::makeTriangular(6, 6);
+    const auto sq = Topology::makeSquare(6, 6, true);
+    std::printf("  triangular: 2q op restricts %d, 3q op restricts %d\n",
+                tri.maxEdgeRestriction(), tri.maxTriangleRestriction());
+    std::printf("  square-diag: 2q op restricts %d, 3q op restricts %d\n\n",
+                sq.maxEdgeRestriction(), sq.maxTriangleRestriction());
+
+    const std::vector<int> widths{14, 20, 20};
+    printRow({"Benchmark", "Triangular (r/b/d)", "SquareDiag (r/b/d)"},
+             widths);
+    printRule(widths);
+    for (const auto &spec : benchmarkSuite()) {
+        if (spec.heavy)
+            continue;
+        const Circuit logical = spec.make();
+        const int n = logical.numQubits();
+        const int cols = std::max(2, static_cast<int>(
+            std::ceil(std::sqrt(static_cast<double>(n)))));
+        const int rows = std::max(2, (n + cols - 1) / cols);
+        const auto a = blockOn(logical, Topology::makeTriangular(rows, cols));
+        const auto b = blockOn(logical, Topology::makeSquare(rows, cols,
+                                                             true));
+        printRow({spec.name,
+                  fmtLong(a.rounds) + "/" + fmtLong(a.blocks) + "/" +
+                      fmtLong(a.depth),
+                  fmtLong(b.rounds) + "/" + fmtLong(b.blocks) + "/" +
+                      fmtLong(b.depth)},
+                 widths);
+    }
+    std::printf("\n(r/b/d = blocking rounds / blocks / restriction-aware\n"
+                "depth pulses.) Two opposing effects: the diagonal square\n"
+                "grid restricts more atoms per Rydberg op (12 vs 8/9,\n"
+                "the paper's Fig 7 argument) but its denser connectivity\n"
+                "(8 vs 6 neighbours) routes with fewer SWAPs. At these\n"
+                "sizes routing often wins on raw depth; the triangular\n"
+                "choice is driven by the 4x easier 3-qubit composition\n"
+                "and equidistant neighbours (Sec 3.2), not depth alone.\n");
+    return 0;
+}

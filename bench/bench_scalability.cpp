@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces the paper's Sec 6 scalability discussion with
+ * google-benchmark timings: mapping is ~linear in the operation count,
+ * blocking is at worst quadratic, and composition is linear in the
+ * number of blocks (and embarrassingly parallel).
+ */
+#include <benchmark/benchmark.h>
+
+#include "algos/algos.hpp"
+#include "blocking/blocker.hpp"
+#include "geyser/pipeline.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/passes.hpp"
+#include "transpile/router.hpp"
+
+using namespace geyser;
+
+namespace {
+
+Circuit
+workload(int qubits)
+{
+    return qftBenchmark(qubits);
+}
+
+void
+BM_Mapping(benchmark::State &state)
+{
+    const Circuit logical = workload(static_cast<int>(state.range(0)));
+    const Topology topo = Topology::forQubits(logical.numQubits());
+    for (auto _ : state) {
+        Circuit phys = decomposeToBasis(logical);
+        optimize(phys);
+        benchmark::DoNotOptimize(route(phys, topo));
+    }
+    state.SetComplexityN(static_cast<int64_t>(
+        decomposeToBasis(logical).size()));
+}
+
+void
+BM_Blocking(benchmark::State &state)
+{
+    const Circuit logical = workload(static_cast<int>(state.range(0)));
+    const Topology topo = Topology::forQubits(logical.numQubits());
+    Circuit phys = decomposeToBasis(logical);
+    optimize(phys);
+    const Circuit routed = route(phys, topo).circuit;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(blockCircuit(routed, topo));
+    state.SetComplexityN(static_cast<int64_t>(routed.size()));
+}
+
+void
+BM_Composition(benchmark::State &state)
+{
+    const Circuit logical = workload(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compileGeyser(logical));
+}
+
+void
+BM_FullGeyserPipeline(benchmark::State &state)
+{
+    const Circuit logical =
+        heisenbergBenchmark(static_cast<int>(state.range(0)), 4, 0.1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compileGeyser(logical));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Mapping)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK(BM_Blocking)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK(BM_Composition)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_FullGeyserPipeline)->Arg(6)->Arg(9)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+BENCHMARK_MAIN();

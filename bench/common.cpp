@@ -1,0 +1,130 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+#include "io/serialize.hpp"
+
+namespace geyser {
+namespace bench {
+
+namespace {
+
+std::string
+cacheDir()
+{
+    const char *env = std::getenv("GEYSER_CACHE_DIR");
+    return env ? env : "/tmp/geyser_bench_cache";
+}
+
+bool
+cacheEnabled()
+{
+    const char *env = std::getenv("GEYSER_NO_CACHE");
+    return !(env && std::string(env) == "1");
+}
+
+}  // namespace
+
+CompileResult
+compileCached(const BenchmarkSpec &spec, Technique technique)
+{
+    const Circuit logical = spec.make();
+    const std::string dir = cacheDir();
+    // kCacheVersion must be bumped whenever pipeline behaviour changes,
+    // or stale circuits would be replayed.
+    constexpr const char *kCacheVersion = "v3";
+    const std::string path = dir + "/" + spec.name + "-" +
+                             techniqueName(technique) + "-" + kCacheVersion +
+                             ".txt";
+    if (cacheEnabled()) {
+        if (auto cached = loadCompileResult(path, logical))
+            return *cached;
+    }
+    const CompileResult result = compile(technique, logical);
+    if (cacheEnabled()) {
+        ::mkdir(dir.c_str(), 0755);
+        try {
+            saveCompileResult(path, result);
+        } catch (const std::exception &) {
+            // Cache writes are best-effort.
+        }
+    }
+    return result;
+}
+
+TrajectoryConfig
+trajectoryConfig(uint64_t seed)
+{
+    TrajectoryConfig cfg;
+    cfg.seed = seed;
+    cfg.trajectories = 200;
+    if (const char *env = std::getenv("GEYSER_TRAJECTORIES"))
+        cfg.trajectories = std::max(1, std::atoi(env));
+    return cfg;
+}
+
+bool
+heavyEnabled()
+{
+    const char *env = std::getenv("GEYSER_BENCH_HEAVY");
+    return env && std::string(env) == "1";
+}
+
+std::vector<BenchmarkSpec>
+tvdSuite()
+{
+    std::vector<BenchmarkSpec> out;
+    for (const auto &spec : benchmarkSuite())
+        if (!spec.heavy || heavyEnabled())
+            out.push_back(spec);
+    return out;
+}
+
+void
+printRow(const std::vector<std::string> &cells,
+         const std::vector<int> &widths)
+{
+    for (size_t i = 0; i < cells.size(); ++i)
+        std::printf("%-*s", widths[i] + 2, cells[i].c_str());
+    std::printf("\n");
+}
+
+void
+printRule(const std::vector<int> &widths)
+{
+    int total = 0;
+    for (const int w : widths)
+        total += w + 2;
+    for (int i = 0; i < total; ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+std::string
+fmtLong(long value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%ld", value);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * fraction);
+    return buf;
+}
+
+std::string
+fmtTvd(double tvd)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", tvd);
+    return buf;
+}
+
+}  // namespace bench
+}  // namespace geyser

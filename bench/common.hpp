@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure bench binaries: cached
+ * compilation (so the ten benchmarks are compiled once across all
+ * binaries), environment-controlled run scale, and table printing.
+ *
+ * Environment knobs:
+ *   GEYSER_CACHE_DIR     cache directory (default /tmp/geyser_bench_cache)
+ *   GEYSER_NO_CACHE=1    disable the cache
+ *   GEYSER_BENCH_HEAVY=1 include the >10-qubit benchmarks in TVD runs
+ *   GEYSER_TRAJECTORIES  noisy-trajectory count (default 200)
+ */
+#ifndef GEYSER_BENCH_COMMON_HPP
+#define GEYSER_BENCH_COMMON_HPP
+
+#include <string>
+#include <vector>
+
+#include "algos/suite.hpp"
+#include "geyser/pipeline.hpp"
+
+namespace geyser {
+namespace bench {
+
+/** Compile through the cross-binary cache. */
+CompileResult compileCached(const BenchmarkSpec &spec, Technique technique);
+
+/** Trajectory configuration honouring GEYSER_TRAJECTORIES. */
+TrajectoryConfig trajectoryConfig(uint64_t seed);
+
+/** True if GEYSER_BENCH_HEAVY=1. */
+bool heavyEnabled();
+
+/** Suite filtered for TVD runs (heavy rows only when enabled). */
+std::vector<BenchmarkSpec> tvdSuite();
+
+/** Print an aligned row of columns with the given widths. */
+void printRow(const std::vector<std::string> &cells,
+              const std::vector<int> &widths);
+
+/** Print a '-' rule matching the widths. */
+void printRule(const std::vector<int> &widths);
+
+/** Format helpers. */
+std::string fmtLong(long value);
+std::string fmtPct(double fraction);
+std::string fmtTvd(double tvd);
+
+}  // namespace bench
+}  // namespace geyser
+
+#endif  // GEYSER_BENCH_COMMON_HPP

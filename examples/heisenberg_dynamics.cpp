@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Domain example: Trotterized Heisenberg-chain dynamics (the paper's
+ * material-simulation workload). Tracks the staggered magnetization of
+ * a Neel state over time on the Geyser-compiled circuit and reports the
+ * compilation savings at each evolution length.
+ *
+ *   $ ./examples/heisenberg_dynamics
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "algos/algos.hpp"
+#include "geyser/pipeline.hpp"
+#include "metrics/observable.hpp"
+
+using namespace geyser;
+
+namespace {
+
+/** Staggered magnetization sum_q (-1)^q <Z_q> / n from a distribution. */
+double
+staggeredMagnetization(const Distribution &dist, int n)
+{
+    double m = 0.0;
+    for (size_t s = 0; s < dist.size(); ++s) {
+        double contrib = 0.0;
+        for (int q = 0; q < n; ++q) {
+            const int z = (s >> q) & 1 ? -1 : 1;
+            contrib += (q % 2 == 0 ? 1.0 : -1.0) * z;
+        }
+        m += dist[s] * contrib;
+    }
+    return m / n;
+}
+
+}  // namespace
+
+int
+main()
+{
+    constexpr int kQubits = 6;
+    constexpr double kDt = 0.15;
+    std::printf("Heisenberg chain on %d qubits, dt = %.2f\n\n", kQubits,
+                kDt);
+    std::printf("%6s %12s %12s %12s %12s %14s\n", "steps", "m_stag",
+                "energy", "base", "geyser", "pulse saving");
+
+    const auto hamiltonian =
+        Hamiltonian::heisenbergChain(kQubits, 1.0, 0.5);
+    for (const int steps : {1, 2, 4, 6}) {
+        const Circuit evolution = heisenbergBenchmark(kQubits, steps, kDt);
+        const auto base = compileBaseline(evolution);
+        const auto gey = compileGeyser(evolution);
+        StateVector state(kQubits);
+        state.apply(evolution);
+        const double m =
+            staggeredMagnetization(state.probabilities(), kQubits);
+        const double energy = hamiltonian.expectation(state);
+        std::printf("%6d %12.4f %12.4f %12ld %12ld %13.1f%%\n", steps, m,
+                    energy, base.stats.totalPulses, gey.stats.totalPulses,
+                    100.0 * (1.0 - static_cast<double>(
+                                       gey.stats.totalPulses) /
+                                       base.stats.totalPulses));
+    }
+    std::printf("\nThe Neel state's staggered magnetization decays as the\n"
+                "XXX chain evolves; Geyser compresses every Trotter step's\n"
+                "RXX+RYY+RZZ bond terms into composed blocks.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+#include "algos/algos.hpp"
+
+#include <stdexcept>
+
+namespace geyser {
+
+namespace {
+
+/** MAJ block of the Cuccaro adder. */
+void
+maj(Circuit &c, Qubit x, Qubit y, Qubit z)
+{
+    c.cx(z, y);
+    c.cx(z, x);
+    c.ccx(x, y, z);
+}
+
+/** UMA (UnMajority-and-Add) block of the Cuccaro adder. */
+void
+uma(Circuit &c, Qubit x, Qubit y, Qubit z)
+{
+    c.ccx(x, y, z);
+    c.cx(z, x);
+    c.cx(x, y);
+}
+
+}  // namespace
+
+Circuit
+cuccaroAdderCore(int bits, bool carry_out)
+{
+    if (bits < 1)
+        throw std::invalid_argument("cuccaroAdderCore: bits >= 1");
+    const int n = 2 * bits + 1 + (carry_out ? 1 : 0);
+    Circuit c(n);
+    auto b = [](int i) { return 2 * i + 1; };
+    auto a = [](int i) { return 2 * i + 2; };
+    const Qubit cin = 0;
+    const Qubit cout = 2 * bits + 1;
+
+    maj(c, cin, b(0), a(0));
+    for (int i = 1; i < bits; ++i)
+        maj(c, a(i - 1), b(i), a(i));
+    if (carry_out)
+        c.cx(a(bits - 1), cout);
+    for (int i = bits - 1; i >= 1; --i)
+        uma(c, a(i - 1), b(i), a(i));
+    uma(c, cin, b(0), a(0));
+    return c;
+}
+
+Circuit
+adderBenchmark(int bits, bool carry_out)
+{
+    Circuit core = cuccaroAdderCore(bits, carry_out);
+    Circuit c(core.numQubits());
+    // Superposition over the a-register; X on alternating b bits.
+    for (int i = 0; i < bits; ++i) {
+        c.h(2 * i + 2);
+        if (i % 2 == 0)
+            c.x(2 * i + 1);
+    }
+    c.append(core);
+    return c;
+}
+
+}  // namespace geyser

@@ -1,0 +1,53 @@
+#include "algos/algos.hpp"
+
+#include "common/rng.hpp"
+
+namespace geyser {
+
+Circuit
+advantageBenchmark(int cycles, uint64_t seed)
+{
+    // Sycamore-style random circuit on a 3x3 grid (paper's 9-qubit
+    // "Advantage" benchmark): each cycle applies a random one-qubit gate
+    // from {sqrt(X), sqrt(Y), sqrt(W)} per qubit and a patterned layer
+    // of CZ gates on one of four alternating edge sets.
+    constexpr int kRows = 3, kCols = 3;
+    Circuit c(kRows * kCols);
+    Rng rng(seed);
+    auto at = [&](int r, int col) { return r * kCols + col; };
+
+    std::vector<int> lastGate(static_cast<size_t>(c.numQubits()), -1);
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+        for (Qubit q = 0; q < c.numQubits(); ++q) {
+            int g = rng.uniformInt(3);
+            while (g == lastGate[static_cast<size_t>(q)])
+                g = rng.uniformInt(3);  // Sycamore never repeats a gate.
+            lastGate[static_cast<size_t>(q)] = g;
+            switch (g) {
+              case 0:  // sqrt(X)
+                c.rx(q, kPi / 2.0);
+                break;
+              case 1:  // sqrt(Y)
+                c.ry(q, kPi / 2.0);
+                break;
+              default: // sqrt(W), W = (X + Y)/sqrt(2)
+                c.u3(q, kPi / 2.0, -kPi / 4.0, kPi / 4.0 + kPi);
+                break;
+            }
+        }
+        // Alternating coupler patterns A/B/C/D.
+        const int pattern = cycle % 4;
+        if (pattern == 0 || pattern == 1) {
+            for (int r = 0; r < kRows; ++r)
+                for (int col = pattern % 2; col + 1 < kCols; col += 2)
+                    c.cz(at(r, col), at(r, col + 1));
+        } else {
+            for (int col = 0; col < kCols; ++col)
+                for (int r = pattern % 2; r + 1 < kRows; r += 2)
+                    c.cz(at(r, col), at(r + 1, col));
+        }
+    }
+    return c;
+}
+
+}  // namespace geyser

@@ -1,0 +1,87 @@
+#include "algos/algos.hpp"
+
+#include <stdexcept>
+
+namespace geyser {
+
+Circuit
+ghzCircuit(int num_qubits)
+{
+    if (num_qubits < 2)
+        throw std::invalid_argument("ghzCircuit: need >= 2 qubits");
+    Circuit c(num_qubits);
+    c.h(0);
+    for (Qubit q = 0; q + 1 < num_qubits; ++q)
+        c.cx(q, q + 1);
+    return c;
+}
+
+Circuit
+bernsteinVazirani(int num_bits, uint64_t secret)
+{
+    if (num_bits < 1 || num_bits > 20)
+        throw std::invalid_argument("bernsteinVazirani: 1..20 bits");
+    // Qubits 0..n-1 are the query register, qubit n the oracle ancilla.
+    Circuit c(num_bits + 1);
+    c.x(num_bits);
+    c.h(num_bits);
+    for (Qubit q = 0; q < num_bits; ++q)
+        c.h(q);
+    for (Qubit q = 0; q < num_bits; ++q)
+        if (secret & (uint64_t{1} << q))
+            c.cx(q, num_bits);
+    for (Qubit q = 0; q < num_bits; ++q)
+        c.h(q);
+    return c;
+}
+
+namespace {
+
+/** Multi-controlled Z over all qubits of a 2- or 3-qubit register. */
+void
+controlledZAll(Circuit &c, int num_qubits)
+{
+    if (num_qubits == 2)
+        c.cz(0, 1);
+    else
+        c.ccz(0, 1, 2);
+}
+
+}  // namespace
+
+Circuit
+groverSearch(int num_qubits, uint64_t marked, int iterations)
+{
+    if (num_qubits < 2 || num_qubits > 3)
+        throw std::invalid_argument(
+            "groverSearch: 2 or 3 qubits (native CZ/CCZ oracle)");
+    if (marked >= (uint64_t{1} << num_qubits))
+        throw std::invalid_argument("groverSearch: marked item too large");
+
+    Circuit c(num_qubits);
+    for (Qubit q = 0; q < num_qubits; ++q)
+        c.h(q);
+    for (int it = 0; it < iterations; ++it) {
+        // Oracle: phase-flip |marked> (conjugate a CZ/CCZ with X).
+        for (Qubit q = 0; q < num_qubits; ++q)
+            if (!(marked & (uint64_t{1} << q)))
+                c.x(q);
+        controlledZAll(c, num_qubits);
+        for (Qubit q = 0; q < num_qubits; ++q)
+            if (!(marked & (uint64_t{1} << q)))
+                c.x(q);
+        // Diffusion: H X (CZ-all) X H.
+        for (Qubit q = 0; q < num_qubits; ++q) {
+            c.h(q);
+            c.x(q);
+        }
+        controlledZAll(c, num_qubits);
+        for (Qubit q = 0; q < num_qubits; ++q) {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    return c;
+}
+
+}  // namespace geyser

@@ -1,0 +1,31 @@
+#include "algos/algos.hpp"
+
+namespace geyser {
+
+Circuit
+heisenbergBenchmark(int num_qubits, int steps, double dt)
+{
+    // First-order Trotterization of the 1-D Heisenberg XXX chain with a
+    // transverse field (the paper's 16-qubit material-simulation
+    // benchmark from ArQTiC): per step, exp(-i dt (X X + Y Y + Z Z))
+    // per bond plus exp(-i dt Z) per site.
+    constexpr double kJ = 1.0;
+    constexpr double kField = 0.5;
+    Circuit c(num_qubits);
+    // Neel initial state.
+    for (Qubit q = 0; q < num_qubits; ++q)
+        if (q % 2 == 1)
+            c.x(q);
+    for (int s = 0; s < steps; ++s) {
+        for (Qubit q = 0; q + 1 < num_qubits; ++q) {
+            c.rxx(q, q + 1, 2.0 * kJ * dt);
+            c.ryy(q, q + 1, 2.0 * kJ * dt);
+            c.rzz(q, q + 1, 2.0 * kJ * dt);
+        }
+        for (Qubit q = 0; q < num_qubits; ++q)
+            c.rz(q, 2.0 * kField * dt);
+    }
+    return c;
+}
+
+}  // namespace geyser

@@ -1,0 +1,106 @@
+#include "algos/algos.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace geyser {
+
+namespace {
+
+/**
+ * Doubly-controlled phase: adds e^{i theta} when both controls are set.
+ * Built from CP and CX (standard construction).
+ */
+void
+ccp(Circuit &c, Qubit c1, Qubit c2, Qubit target, double theta)
+{
+    c.cp(c2, target, theta / 2.0);
+    c.cx(c1, c2);
+    c.cp(c2, target, -theta / 2.0);
+    c.cx(c1, c2);
+    c.cp(c1, target, theta / 2.0);
+}
+
+}  // namespace
+
+Circuit
+toffoliMultiplierCore(int nb)
+{
+    if (nb < 1)
+        throw std::invalid_argument("toffoliMultiplierCore: nb >= 1");
+    // a0 = 0, b = 1..nb, p = nb+1..2nb. With a single a bit there are no
+    // carries: p_j = a0 * b_j.
+    Circuit c(1 + 2 * nb);
+    for (int j = 0; j < nb; ++j)
+        c.ccx(0, 1 + j, 1 + nb + j);
+    return c;
+}
+
+Circuit
+multiplier5Benchmark()
+{
+    Circuit core = toffoliMultiplierCore(2);
+    Circuit c(core.numQubits());
+    c.h(0);
+    c.h(1);
+    c.h(2);
+    c.append(core);
+    return c;
+}
+
+Circuit
+qftMultiplierCore(int na, int nb)
+{
+    if (na < 1 || nb < 1)
+        throw std::invalid_argument("qftMultiplierCore: registers >= 1 bit");
+    const int np = na + nb;
+    const int n = na + nb + np;
+    Circuit c(n);
+    auto a = [](int i) { return i; };
+    auto b = [&](int j) { return na + j; };
+    auto p = [&](int k) { return na + nb + k; };
+
+    // No-swap QFT over the product register: afterwards qubit p(q)
+    // carries the Fourier phase 2*pi * value * 2^{np-1-q} / 2^{np}.
+    const Circuit fourier = [&] {
+        Circuit f(n);
+        for (int i = np - 1; i >= 0; --i) {
+            f.h(p(i));
+            for (int j = i - 1; j >= 0; --j)
+                f.cp(p(j), p(i), kPi / static_cast<double>(1 << (i - j)));
+        }
+        return f;
+    }();
+    c.append(fourier);
+
+    // Accumulate a_i * b_j * 2^{i+j} into the Fourier phases.
+    for (int i = 0; i < na; ++i) {
+        for (int j = 0; j < nb; ++j) {
+            for (int q = 0; q < np; ++q) {
+                const int power = i + j + (np - 1 - q);
+                if (power >= np)
+                    continue;  // Phase is a multiple of 2*pi.
+                const double theta =
+                    2.0 * kPi * std::pow(2.0, power) /
+                    std::pow(2.0, np);
+                ccp(c, a(i), b(j), p(q), theta);
+            }
+        }
+    }
+
+    c.append(fourier.inverted());
+    return c;
+}
+
+Circuit
+multiplier10Benchmark()
+{
+    Circuit core = qftMultiplierCore(2, 3);
+    Circuit c(core.numQubits());
+    for (Qubit q = 0; q < 5; ++q)  // a and b registers in superposition.
+        c.h(q);
+    c.append(core);
+    return c;
+}
+
+}  // namespace geyser

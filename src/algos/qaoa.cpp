@@ -1,0 +1,41 @@
+#include "algos/algos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace geyser {
+
+Circuit
+qaoaBenchmark(int num_qubits, int edges, int rounds, uint64_t seed)
+{
+    // Seeded random simple graph with the requested edge count.
+    const int maxEdges = num_qubits * (num_qubits - 1) / 2;
+    if (edges > maxEdges)
+        throw std::invalid_argument("qaoaBenchmark: too many edges");
+    std::vector<std::pair<int, int>> all;
+    for (int i = 0; i < num_qubits; ++i)
+        for (int j = i + 1; j < num_qubits; ++j)
+            all.emplace_back(i, j);
+    Rng rng(seed);
+    std::shuffle(all.begin(), all.end(), rng.engine());
+    all.resize(static_cast<size_t>(edges));
+
+    Circuit c(num_qubits);
+    for (Qubit q = 0; q < num_qubits; ++q)
+        c.h(q);
+    for (int r = 0; r < rounds; ++r) {
+        const double gamma = rng.uniform(0.0, kPi);
+        const double beta = rng.uniform(0.0, kPi);
+        for (const auto &[a, b] : all)
+            c.rzz(a, b, 2.0 * gamma);
+        for (Qubit q = 0; q < num_qubits; ++q)
+            c.rx(q, 2.0 * beta);
+    }
+    return c;
+}
+
+}  // namespace geyser

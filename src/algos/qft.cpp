@@ -1,0 +1,36 @@
+#include "algos/algos.hpp"
+
+namespace geyser {
+
+Circuit
+qftCore(int num_qubits, bool do_swaps)
+{
+    Circuit c(num_qubits);
+    for (int i = num_qubits - 1; i >= 0; --i) {
+        c.h(i);
+        for (int j = i - 1; j >= 0; --j)
+            c.cp(j, i, kPi / static_cast<double>(1 << (i - j)));
+    }
+    if (do_swaps) {
+        for (int i = 0; i < num_qubits / 2; ++i)
+            c.swap(i, num_qubits - 1 - i);
+    }
+    return c;
+}
+
+Circuit
+qftBenchmark(int num_qubits)
+{
+    Circuit c(num_qubits);
+    // A non-trivial input: X on alternate qubits, H on the others.
+    for (Qubit q = 0; q < num_qubits; ++q) {
+        if (q % 2 == 0)
+            c.x(q);
+        else
+            c.h(q);
+    }
+    c.append(qftCore(num_qubits, true));
+    return c;
+}
+
+}  // namespace geyser

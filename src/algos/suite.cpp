@@ -1,0 +1,46 @@
+#include "algos/suite.hpp"
+
+#include <stdexcept>
+
+#include "algos/algos.hpp"
+
+namespace geyser {
+
+const std::vector<BenchmarkSpec> &
+benchmarkSuite()
+{
+    static const std::vector<BenchmarkSpec> suite = {
+        {"adder-4", "Adder", 4, {75, 24, 147, 117},
+         [] { return adderBenchmark(1, true); }, false},
+        {"vqe-4", "VQE", 4, {235, 74, 457, 359},
+         [] { return vqeBenchmark(4, 20, 11); }, false},
+        {"qaoa-5", "QAOA", 5, {123, 48, 267, 212},
+         [] { return qaoaBenchmark(5, 8, 3, 23); }, false},
+        {"qft-5", "QFT", 5, {113, 39, 230, 167},
+         [] { return qftBenchmark(5); }, false},
+        {"multiplier-5", "Multiplier", 5, {75, 23, 144, 104},
+         [] { return multiplier5Benchmark(); }, false},
+        {"adder-9", "Adder", 9, {380, 158, 854, 605},
+         [] { return adderBenchmark(4, false); }, false},
+        {"advantage-9", "Advantage", 9, {108, 32, 204, 73},
+         [] { return advantageBenchmark(6, 37); }, false},
+        {"qft-10", "QFT", 10, {1141, 498, 2635, 1629},
+         [] { return qftBenchmark(10); }, false},
+        {"multiplier-10", "Multiplier", 10, {787, 340, 1807, 1136},
+         [] { return multiplier10Benchmark(); }, false},
+        {"heisenberg-16", "Heisenberg", 16, {15614, 3339, 25631, 8083},
+         [] { return heisenbergBenchmark(16, 37, 0.1); }, true},
+    };
+    return suite;
+}
+
+const BenchmarkSpec &
+benchmarkByName(const std::string &name)
+{
+    for (const auto &spec : benchmarkSuite())
+        if (spec.name == name)
+            return spec;
+    throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+}  // namespace geyser

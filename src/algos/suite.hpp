@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The benchmark suite of paper Table 1: the ten evaluated circuits with
+ * their paper-reported Baseline characteristics, so every bench can print
+ * paper-vs-measured side by side.
+ */
+#ifndef GEYSER_ALGOS_SUITE_HPP
+#define GEYSER_ALGOS_SUITE_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace geyser {
+
+/** Paper-reported Baseline characteristics (Table 1). */
+struct PaperRow
+{
+    int u3Gates = 0;
+    int czGates = 0;
+    long totalPulses = 0;
+    long depthPulses = 0;
+};
+
+/** One suite entry. */
+struct BenchmarkSpec
+{
+    std::string name;       ///< e.g. "adder-4".
+    std::string family;     ///< e.g. "Adder".
+    int numQubits = 0;
+    PaperRow paper;         ///< Paper Table 1 Baseline numbers.
+    std::function<Circuit()> make;
+    /** Rough cost class: large circuits are skipped by quick TVD runs. */
+    bool heavy = false;
+};
+
+/** All ten Table 1 benchmarks, in paper order. */
+const std::vector<BenchmarkSpec> &benchmarkSuite();
+
+/** Lookup by name; throws if unknown. */
+const BenchmarkSpec &benchmarkByName(const std::string &name);
+
+}  // namespace geyser
+
+#endif  // GEYSER_ALGOS_SUITE_HPP

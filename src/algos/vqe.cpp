@@ -1,0 +1,27 @@
+#include "algos/algos.hpp"
+
+#include "common/rng.hpp"
+
+namespace geyser {
+
+Circuit
+vqeBenchmark(int num_qubits, int layers, uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(num_qubits);
+    for (int l = 0; l < layers; ++l) {
+        for (Qubit q = 0; q < num_qubits; ++q) {
+            c.ry(q, rng.uniform(0.0, 2.0 * kPi));
+            c.rz(q, rng.uniform(0.0, 2.0 * kPi));
+        }
+        for (Qubit q = 0; q + 1 < num_qubits; ++q)
+            c.cx(q, q + 1);
+    }
+    for (Qubit q = 0; q < num_qubits; ++q) {
+        c.ry(q, rng.uniform(0.0, 2.0 * kPi));
+        c.rz(q, rng.uniform(0.0, 2.0 * kPi));
+    }
+    return c;
+}
+
+}  // namespace geyser

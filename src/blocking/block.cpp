@@ -1,0 +1,91 @@
+#include "blocking/block.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace geyser {
+
+int
+BlockedCircuit::blockCount() const
+{
+    int n = 0;
+    for (const auto &r : rounds)
+        n += static_cast<int>(r.blocks.size());
+    return n;
+}
+
+Circuit
+BlockedCircuit::localCircuit(const Block &block) const
+{
+    Circuit local(static_cast<int>(block.atoms.size()));
+    for (const int idx : block.opIndices) {
+        Gate g = source.gates()[static_cast<size_t>(idx)];
+        for (int i = 0; i < g.numQubits(); ++i) {
+            const auto it = std::find(block.atoms.begin(), block.atoms.end(),
+                                      g.qubit(i));
+            if (it == block.atoms.end())
+                throw std::logic_error("localCircuit: gate leaves block");
+            g.setQubit(i, static_cast<Qubit>(it - block.atoms.begin()));
+        }
+        local.append(g);
+    }
+    return local;
+}
+
+Circuit
+BlockedCircuit::flatten() const
+{
+    Circuit out(source.numQubits());
+    for (const auto &round : rounds)
+        for (const auto &block : round.blocks)
+            for (const int idx : block.opIndices)
+                out.append(source.gates()[static_cast<size_t>(idx)]);
+    return out;
+}
+
+void
+BlockedCircuit::checkInvariants() const
+{
+    std::vector<int> owner(source.size(), -1);
+    int blockId = 0;
+    for (const auto &round : rounds) {
+        for (const auto &block : round.blocks) {
+            for (const int idx : block.opIndices) {
+                if (idx < 0 || idx >= static_cast<int>(source.size()))
+                    throw std::logic_error("block owns bad gate index");
+                if (owner[static_cast<size_t>(idx)] != -1)
+                    throw std::logic_error("gate owned by two blocks");
+                owner[static_cast<size_t>(idx)] = blockId;
+                const Gate &g = source.gates()[static_cast<size_t>(idx)];
+                for (int i = 0; i < g.numQubits(); ++i) {
+                    if (std::find(block.atoms.begin(), block.atoms.end(),
+                                  g.qubit(i)) == block.atoms.end())
+                        throw std::logic_error("block gate uses outside atom");
+                }
+            }
+            ++blockId;
+        }
+    }
+    for (size_t i = 0; i < source.size(); ++i)
+        if (owner[i] == -1)
+            throw std::logic_error("gate not owned by any block");
+
+    // Per-qubit program order must be preserved by the flattened order.
+    const Circuit flat = flatten();
+    const auto origLists = source.qubitOpLists();
+    const auto flatLists = flat.qubitOpLists();
+    for (Qubit q = 0; q < source.numQubits(); ++q) {
+        const auto &orig = origLists[static_cast<size_t>(q)];
+        const auto &flatl = flatLists[static_cast<size_t>(q)];
+        if (orig.size() != flatl.size())
+            throw std::logic_error("flatten changed per-qubit gate count");
+        for (size_t i = 0; i < orig.size(); ++i) {
+            const Gate &a = source.gates()[static_cast<size_t>(orig[i])];
+            const Gate &b = flat.gates()[static_cast<size_t>(flatl[i])];
+            if (!(a == b))
+                throw std::logic_error("flatten permuted per-qubit order");
+        }
+    }
+}
+
+}  // namespace geyser

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Circuit blocks (paper Sec 2.3): self-contained sets of operations over
+ * at most three atoms. A blocked circuit is a sequence of rounds; blocks
+ * within a round are mutually restriction-compatible and execute in
+ * parallel, and the concatenation of all blocks in round/block order is
+ * mathematically equivalent to the original circuit.
+ */
+#ifndef GEYSER_BLOCKING_BLOCK_HPP
+#define GEYSER_BLOCKING_BLOCK_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace geyser {
+
+/** One block: its atoms and the source-circuit gate indices it owns. */
+struct Block
+{
+    /** Active atoms, in local-qubit order (local qubit i = atoms[i]). */
+    std::vector<int> atoms;
+    /** Indices into the source circuit's gate list, in execution order. */
+    std::vector<int> opIndices;
+    /** Total pulses of the owned gates. */
+    long pulseCount = 0;
+    /** True if any owned gate acts on 2+ atoms (creates a zone). */
+    bool hasMultiQubitOps = false;
+};
+
+/** Blocks that can run concurrently. */
+struct Round
+{
+    std::vector<Block> blocks;
+};
+
+/** A circuit partitioned into rounds of blocks. */
+struct BlockedCircuit
+{
+    Circuit source;              ///< The mapped physical circuit.
+    std::vector<Round> rounds;   ///< Every gate in exactly one block.
+
+    /** Total number of blocks across rounds. */
+    int blockCount() const;
+
+    /**
+     * The block's gates as a standalone circuit over local qubits
+     * 0..atoms-1 (local qubit i = block.atoms[i]).
+     */
+    Circuit localCircuit(const Block &block) const;
+
+    /**
+     * Concatenate all blocks in round/block order into a circuit over
+     * the source qubit numbering; unitary-equivalent to source.
+     */
+    Circuit flatten() const;
+
+    /** Verify the blocking invariants; throws std::logic_error if broken:
+     *  every gate owned exactly once, blocks self-contained, per-qubit
+     *  gate order preserved. */
+    void checkInvariants() const;
+};
+
+}  // namespace geyser
+
+#endif  // GEYSER_BLOCKING_BLOCK_HPP

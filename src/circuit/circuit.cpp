@@ -1,0 +1,147 @@
+#include "circuit/circuit.hpp"
+
+#include <stdexcept>
+
+namespace geyser {
+
+void
+Circuit::append(const Gate &gate)
+{
+    for (int i = 0; i < gate.numQubits(); ++i) {
+        const Qubit q = gate.qubit(i);
+        if (q < 0 || q >= numQubits_)
+            throw std::out_of_range("Circuit::append: qubit " +
+                                    std::to_string(q) + " out of range");
+    }
+    gates_.push_back(gate);
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    for (const auto &g : other.gates())
+        append(g);
+}
+
+void
+Circuit::u3(Qubit q, double theta, double phi, double lambda)
+{
+    append(Gate(GateKind::U3, q, theta, phi, lambda));
+}
+
+void
+Circuit::cx(Qubit control, Qubit target)
+{
+    append(Gate(GateKind::CX, control, target));
+}
+
+void
+Circuit::cp(Qubit a, Qubit b, double lambda)
+{
+    append(Gate(GateKind::CP, a, b, lambda));
+}
+
+void
+Circuit::rzz(Qubit a, Qubit b, double theta)
+{
+    append(Gate(GateKind::RZZ, a, b, theta));
+}
+
+void
+Circuit::rxx(Qubit a, Qubit b, double theta)
+{
+    append(Gate(GateKind::RXX, a, b, theta));
+}
+
+void
+Circuit::ryy(Qubit a, Qubit b, double theta)
+{
+    append(Gate(GateKind::RYY, a, b, theta));
+}
+
+void
+Circuit::ccx(Qubit c0, Qubit c1, Qubit target)
+{
+    append(Gate(GateKind::CCX, c0, c1, target));
+}
+
+int
+Circuit::countKind(GateKind kind) const
+{
+    int n = 0;
+    for (const auto &g : gates_)
+        if (g.kind() == kind)
+            ++n;
+    return n;
+}
+
+std::map<GateKind, int>
+Circuit::gateCounts() const
+{
+    std::map<GateKind, int> counts;
+    for (const auto &g : gates_)
+        ++counts[g.kind()];
+    return counts;
+}
+
+bool
+Circuit::isPhysical() const
+{
+    for (const auto &g : gates_)
+        if (!g.isPhysical())
+            return false;
+    return true;
+}
+
+long
+Circuit::totalPulses() const
+{
+    long total = 0;
+    for (const auto &g : gates_)
+        total += g.pulses();
+    return total;
+}
+
+std::vector<std::vector<int>>
+Circuit::qubitOpLists() const
+{
+    std::vector<std::vector<int>> lists(static_cast<size_t>(numQubits_));
+    for (int i = 0; i < static_cast<int>(gates_.size()); ++i) {
+        const auto &g = gates_[static_cast<size_t>(i)];
+        for (int k = 0; k < g.numQubits(); ++k)
+            lists[static_cast<size_t>(g.qubit(k))].push_back(i);
+    }
+    return lists;
+}
+
+Circuit
+Circuit::remapped(const std::vector<Qubit> &map, int new_num_qubits) const
+{
+    Circuit out(new_num_qubits);
+    for (auto g : gates_) {
+        for (int i = 0; i < g.numQubits(); ++i)
+            g.setQubit(i, map[static_cast<size_t>(g.qubit(i))]);
+        out.append(g);
+    }
+    return out;
+}
+
+Circuit
+Circuit::inverted() const
+{
+    Circuit out(numQubits_);
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
+        out.append(it->inverse());
+    return out;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::string out = "circuit(" + std::to_string(numQubits_) + " qubits)\n";
+    for (const auto &g : gates_)
+        out += "  " + g.toString() + "\n";
+    return out;
+}
+
+}  // namespace geyser

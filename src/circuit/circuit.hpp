@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The quantum circuit IR: an ordered gate list over n qubits, plus the
+ * counting metrics the paper evaluates (gate counts, total pulses).
+ */
+#ifndef GEYSER_CIRCUIT_CIRCUIT_HPP
+#define GEYSER_CIRCUIT_CIRCUIT_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "common/types.hpp"
+
+namespace geyser {
+
+/**
+ * An ordered list of gates over numQubits() qubits. Gate order is program
+ * order; two gates commute trivially when they share no qubits.
+ */
+class Circuit
+{
+  public:
+    Circuit() = default;
+    explicit Circuit(int num_qubits) : numQubits_(num_qubits) {}
+
+    int numQubits() const { return numQubits_; }
+    void setNumQubits(int n) { numQubits_ = n; }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::vector<Gate> &gates() { return gates_; }
+    size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+
+    /** Append a gate, validating its qubit operands against numQubits(). */
+    void append(const Gate &gate);
+
+    /** Append every gate of another circuit (same qubit numbering). */
+    void append(const Circuit &other);
+
+    // Convenience builders (validated like append()).
+    void u3(Qubit q, double theta, double phi, double lambda);
+    void i(Qubit q) { append(Gate(GateKind::I, q)); }
+    void x(Qubit q) { append(Gate(GateKind::X, q)); }
+    void y(Qubit q) { append(Gate(GateKind::Y, q)); }
+    void z(Qubit q) { append(Gate(GateKind::Z, q)); }
+    void h(Qubit q) { append(Gate(GateKind::H, q)); }
+    void s(Qubit q) { append(Gate(GateKind::S, q)); }
+    void sdg(Qubit q) { append(Gate(GateKind::SDG, q)); }
+    void t(Qubit q) { append(Gate(GateKind::T, q)); }
+    void tdg(Qubit q) { append(Gate(GateKind::TDG, q)); }
+    void rx(Qubit q, double theta) { append(Gate(GateKind::RX, q, theta)); }
+    void ry(Qubit q, double theta) { append(Gate(GateKind::RY, q, theta)); }
+    void rz(Qubit q, double theta) { append(Gate(GateKind::RZ, q, theta)); }
+    void p(Qubit q, double lambda) { append(Gate(GateKind::P, q, lambda)); }
+    void cx(Qubit control, Qubit target);
+    void cz(Qubit a, Qubit b) { append(Gate(GateKind::CZ, a, b)); }
+    void cp(Qubit a, Qubit b, double lambda);
+    void rzz(Qubit a, Qubit b, double theta);
+    void rxx(Qubit a, Qubit b, double theta);
+    void ryy(Qubit a, Qubit b, double theta);
+    void swap(Qubit a, Qubit b) { append(Gate(GateKind::SWAP, a, b)); }
+    void ccx(Qubit c0, Qubit c1, Qubit target);
+    void ccz(Qubit a, Qubit b, Qubit c) { append(Gate(GateKind::CCZ, a, b, c)); }
+
+    /** Number of gates of one kind. */
+    int countKind(GateKind kind) const;
+
+    /** Gate count per kind, for reporting. */
+    std::map<GateKind, int> gateCounts() const;
+
+    /** True if every gate is in the physical basis {U3, CZ, CCZ}. */
+    bool isPhysical() const;
+
+    /**
+     * Total physical pulse count (paper metric "Number of Pulses").
+     * Requires a physical circuit.
+     */
+    long totalPulses() const;
+
+    /**
+     * Per-qubit views: for each qubit, the indices (into gates()) of the
+     * gates acting on it, in program order. This is the structure that
+     * drives blocking (Algorithm 1's per-qubit frontiers).
+     */
+    std::vector<std::vector<int>> qubitOpLists() const;
+
+    /**
+     * Remap qubit operands through `map` (old index -> new index) and set
+     * the qubit count to new_num_qubits.
+     */
+    Circuit remapped(const std::vector<Qubit> &map, int new_num_qubits) const;
+
+    /** The inverse circuit: gates reversed and individually inverted. */
+    Circuit inverted() const;
+
+    /** One gate per line. */
+    std::string toString() const;
+
+  private:
+    int numQubits_ = 0;
+    std::vector<Gate> gates_;
+};
+
+}  // namespace geyser
+
+#endif  // GEYSER_CIRCUIT_CIRCUIT_HPP

@@ -1,0 +1,128 @@
+#include "circuit/draw.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace geyser {
+
+namespace {
+
+/** Short symbol for a gate on one of its operand rows. */
+std::string
+symbolFor(const Gate &gate, int operand)
+{
+    switch (gate.kind()) {
+      case GateKind::U3:
+        return "U3";
+      case GateKind::CZ:
+        return operand == 0 ? "*" : "Z";
+      case GateKind::CCZ:
+        return operand < 2 ? "*" : "Z";
+      case GateKind::CX:
+        return operand == 0 ? "*" : "X";
+      case GateKind::CCX:
+        return operand < 2 ? "*" : "X";
+      case GateKind::CP:
+        return operand == 0 ? "*" : "P";
+      case GateKind::SWAP:
+        return "x";
+      case GateKind::RZZ:
+      case GateKind::RXX:
+      case GateKind::RYY:
+        return gateKindName(gate.kind());
+      default: {
+        std::string s = gateKindName(gate.kind());
+        for (auto &c : s)
+            c = static_cast<char>(std::toupper(c));
+        return s;
+      }
+    }
+}
+
+}  // namespace
+
+std::string
+drawCircuit(const Circuit &circuit, int max_columns)
+{
+    const int n = circuit.numQubits();
+    // Assign each gate to the earliest column where its qubits are free.
+    std::vector<int> nextCol(static_cast<size_t>(n), 0);
+    std::vector<int> column(circuit.size(), 0);
+    int columns = 0;
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gates()[i];
+        int lo = n, hi = -1, col = 0;
+        for (int k = 0; k < g.numQubits(); ++k) {
+            lo = std::min(lo, g.qubit(k));
+            hi = std::max(hi, g.qubit(k));
+        }
+        // Multi-qubit connectors occupy every row they cross.
+        for (int q = lo; q <= hi; ++q)
+            col = std::max(col, nextCol[static_cast<size_t>(q)]);
+        column[i] = col;
+        for (int q = lo; q <= hi; ++q)
+            nextCol[static_cast<size_t>(q)] = col + 1;
+        columns = std::max(columns, col + 1);
+    }
+    if (max_columns > 0)
+        columns = std::min(columns, max_columns);
+
+    // Cell contents per (row, column); connector rows marked with '|'.
+    std::vector<std::vector<std::string>> cells(
+        static_cast<size_t>(2 * n - 1),
+        std::vector<std::string>(static_cast<size_t>(columns)));
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        if (column[i] >= columns)
+            continue;
+        const Gate &g = circuit.gates()[i];
+        int lo = n, hi = -1;
+        for (int k = 0; k < g.numQubits(); ++k) {
+            lo = std::min(lo, g.qubit(k));
+            hi = std::max(hi, g.qubit(k));
+        }
+        for (int k = 0; k < g.numQubits(); ++k)
+            cells[static_cast<size_t>(2 * g.qubit(k))]
+                 [static_cast<size_t>(column[i])] = symbolFor(g, k);
+        for (int q = lo; q < hi; ++q) {
+            auto &below = cells[static_cast<size_t>(2 * q + 1)]
+                               [static_cast<size_t>(column[i])];
+            below = "|";
+            auto &mid = cells[static_cast<size_t>(2 * q)]
+                             [static_cast<size_t>(column[i])];
+            if (mid.empty() && !g.actsOn(q))
+                mid = "|";
+        }
+    }
+
+    // Column widths.
+    std::vector<size_t> width(static_cast<size_t>(columns), 1);
+    for (const auto &row : cells)
+        for (int c = 0; c < columns; ++c)
+            width[static_cast<size_t>(c)] =
+                std::max(width[static_cast<size_t>(c)],
+                         row[static_cast<size_t>(c)].size());
+
+    std::string out;
+    for (int r = 0; r < 2 * n - 1; ++r) {
+        const bool wireRow = r % 2 == 0;
+        if (wireRow)
+            out += "q" + std::to_string(r / 2) + ": ";
+        else
+            out += std::string(std::to_string(r / 2).size() + 4, ' ');
+        for (int c = 0; c < columns; ++c) {
+            const std::string &cell =
+                cells[static_cast<size_t>(r)][static_cast<size_t>(c)];
+            const char fill = wireRow ? '-' : ' ';
+            out += fill;
+            out += cell;
+            out += std::string(width[static_cast<size_t>(c)] - cell.size() +
+                                   1,
+                               fill);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace geyser

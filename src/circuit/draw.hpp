@@ -1,0 +1,28 @@
+/**
+ * @file
+ * ASCII circuit rendering for small circuits — used by examples, the
+ * CLI, and test failure messages.
+ */
+#ifndef GEYSER_CIRCUIT_DRAW_HPP
+#define GEYSER_CIRCUIT_DRAW_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace geyser {
+
+/**
+ * Render a circuit as ASCII art: one row per qubit, one column per
+ * moment (gates pack left as their qubits free up). Multi-qubit gates
+ * draw a vertical connector; parameters are omitted for compactness.
+ *
+ *   q0: -H---*------
+ *            |
+ *   q1: -----Z--RX--
+ */
+std::string drawCircuit(const Circuit &circuit, int max_columns = 0);
+
+}  // namespace geyser
+
+#endif  // GEYSER_CIRCUIT_DRAW_HPP

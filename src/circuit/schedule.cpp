@@ -1,0 +1,80 @@
+#include "circuit/schedule.hpp"
+
+#include <algorithm>
+
+namespace geyser {
+
+Schedule
+scheduleAsap(const Circuit &circuit)
+{
+    Schedule sched;
+    sched.start.resize(circuit.size());
+    std::vector<long> avail(static_cast<size_t>(circuit.numQubits()), 0);
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gates()[i];
+        long start = 0;
+        for (int k = 0; k < g.numQubits(); ++k)
+            start = std::max(start, avail[static_cast<size_t>(g.qubit(k))]);
+        const long end = start + g.pulses();
+        for (int k = 0; k < g.numQubits(); ++k)
+            avail[static_cast<size_t>(g.qubit(k))] = end;
+        sched.start[i] = start;
+        sched.makespan = std::max(sched.makespan, end);
+    }
+    return sched;
+}
+
+Schedule
+scheduleRestrictionAware(const Circuit &circuit, const Topology &topo)
+{
+    Schedule sched;
+    sched.start.resize(circuit.size());
+    const size_t n = static_cast<size_t>(topo.numAtoms());
+    std::vector<long> avail(n, 0);     // Qubit is running its own gates.
+    std::vector<long> restrict_(n, 0); // Qubit is inside someone's zone.
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gates()[i];
+        std::vector<int> involved;
+        involved.reserve(static_cast<size_t>(g.numQubits()));
+        for (int k = 0; k < g.numQubits(); ++k)
+            involved.push_back(g.qubit(k));
+
+        long start = 0;
+        for (int q : involved) {
+            start = std::max(start, avail[static_cast<size_t>(q)]);
+            start = std::max(start, restrict_[static_cast<size_t>(q)]);
+        }
+        std::vector<int> zone;
+        if (g.numQubits() >= 2) {
+            zone = topo.restrictionZone(involved);
+            // A Rydberg gate cannot start while a zone atom is mid-gate
+            // (list scheduling: all program-earlier gates on zone atoms
+            // are already placed and reflected in avail[]).
+            for (int z : zone)
+                start = std::max(start, avail[static_cast<size_t>(z)]);
+        }
+        const long end = start + g.pulses();
+        for (int q : involved)
+            avail[static_cast<size_t>(q)] = end;
+        for (int z : zone)
+            restrict_[static_cast<size_t>(z)] =
+                std::max(restrict_[static_cast<size_t>(z)], end);
+        sched.start[i] = start;
+        sched.makespan = std::max(sched.makespan, end);
+    }
+    return sched;
+}
+
+long
+depthPulses(const Circuit &circuit)
+{
+    return scheduleAsap(circuit).makespan;
+}
+
+long
+depthPulses(const Circuit &circuit, const Topology &topo)
+{
+    return scheduleRestrictionAware(circuit, topo).makespan;
+}
+
+}  // namespace geyser

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Pulse-level schedulers used to compute the paper's "Number of Depth
+ * Pulses" metric (the pulse length of the circuit's critical path).
+ *
+ * Two models are provided:
+ *  - ASAP: each gate starts as soon as all of its qubits are free; its
+ *    duration is its pulse count.
+ *  - Restriction-aware: additionally, a multi-qubit gate occupies its
+ *    restriction zone for its duration (paper Sec 2.2), so restricted
+ *    atoms cannot start gates until it finishes, and it cannot start while
+ *    a zone atom is mid-gate.
+ */
+#ifndef GEYSER_CIRCUIT_SCHEDULE_HPP
+#define GEYSER_CIRCUIT_SCHEDULE_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "topology/topology.hpp"
+
+namespace geyser {
+
+/** Start time (in pulses) per gate, plus the overall makespan. */
+struct Schedule
+{
+    std::vector<long> start;
+    long makespan = 0;
+};
+
+/**
+ * ASAP schedule by qubit availability. Requires a physical circuit (pulse
+ * durations must be defined).
+ */
+Schedule scheduleAsap(const Circuit &circuit);
+
+/**
+ * ASAP schedule that additionally serializes gates against the
+ * restriction zones of multi-qubit gates. Gate operands must index atoms
+ * of `topo`.
+ */
+Schedule scheduleRestrictionAware(const Circuit &circuit,
+                                  const Topology &topo);
+
+/** Convenience: makespan of scheduleAsap. */
+long depthPulses(const Circuit &circuit);
+
+/** Convenience: makespan of scheduleRestrictionAware. */
+long depthPulses(const Circuit &circuit, const Topology &topo);
+
+}  // namespace geyser
+
+#endif  // GEYSER_CIRCUIT_SCHEDULE_HPP

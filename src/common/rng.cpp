@@ -1,0 +1,14 @@
+#include "common/rng.hpp"
+
+namespace geyser {
+
+std::vector<double>
+Rng::uniformVector(int n, double lo, double hi)
+{
+    std::vector<double> out(static_cast<size_t>(n));
+    for (auto &x : out)
+        x = uniform(lo, hi);
+    return out;
+}
+
+}  // namespace geyser

@@ -1,0 +1,83 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace geyser {
+
+ThreadPool::ThreadPool(int n)
+{
+    int count = n > 0 ? n : static_cast<int>(std::thread::hardware_concurrency());
+    count = std::max(1, count);
+    workers_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cvTask_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+        ++inFlight_;
+    }
+    cvTask_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cvIdle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(int n, const std::function<void(int)> &fn)
+{
+    for (int i = 0; i < n; ++i)
+        submit([&fn, i] { fn(i); });
+    waitIdle();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cvTask_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                cvIdle_.notify_all();
+        }
+    }
+}
+
+ThreadPool &
+globalPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+}  // namespace geyser

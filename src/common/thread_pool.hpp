@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A minimal fixed-size thread pool used to compose circuit blocks and run
+ * noise trajectories in parallel (the paper composes blocks concurrently
+ * with Python multiprocessing; this is the C++ equivalent).
+ */
+#ifndef GEYSER_COMMON_THREAD_POOL_HPP
+#define GEYSER_COMMON_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace geyser {
+
+/**
+ * Fixed-size worker pool. Tasks are void() callables; waitIdle() blocks
+ * until every submitted task has finished.
+ */
+class ThreadPool
+{
+  public:
+    /** Create a pool with n workers (n <= 0 selects hardware concurrency). */
+    explicit ThreadPool(int n = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task for execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks have completed. */
+    void waitIdle();
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Convenience: run fn(i) for i in [0, n) across the pool and wait.
+     * fn must be safe to invoke concurrently for distinct i.
+     */
+    void parallelFor(int n, const std::function<void(int)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cvTask_;
+    std::condition_variable cvIdle_;
+    int inFlight_ = 0;
+    bool stop_ = false;
+};
+
+/** Global pool shared by the library (lazily constructed). */
+ThreadPool &globalPool();
+
+}  // namespace geyser
+
+#endif  // GEYSER_COMMON_THREAD_POOL_HPP

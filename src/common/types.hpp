@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared scalar and container aliases used across the geyser library.
+ */
+#ifndef GEYSER_COMMON_TYPES_HPP
+#define GEYSER_COMMON_TYPES_HPP
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace geyser {
+
+/** Complex amplitude type used by all simulators and unitaries. */
+using Complex = std::complex<double>;
+
+/** Index of a qubit (logical or physical, depending on context). */
+using Qubit = int;
+
+/** A probability distribution over computational basis states. */
+using Distribution = std::vector<double>;
+
+/** Imaginary unit. */
+inline constexpr Complex kI{0.0, 1.0};
+
+/** Pi, to double precision. */
+inline constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace geyser
+
+#endif  // GEYSER_COMMON_TYPES_HPP

@@ -1,0 +1,250 @@
+#include "compose/ansatz.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace geyser {
+
+Ansatz::Ansatz(int num_qubits, int layers, std::vector<Entangler> entanglers)
+    : numQubits_(num_qubits), layers_(layers),
+      entanglers_(std::move(entanglers))
+{
+    if (num_qubits < 2 || num_qubits > 4)
+        throw std::invalid_argument("Ansatz: 2, 3, or 4 qubits only");
+    if (layers < 1)
+        throw std::invalid_argument("Ansatz: need at least one layer");
+    if (entanglers_.empty())
+        entanglers_.assign(static_cast<size_t>(layers),
+                           num_qubits == 4   ? Entangler::Cccz
+                           : num_qubits == 3 ? Entangler::Ccz
+                                             : Entangler::Cz01);
+    if (static_cast<int>(entanglers_.size()) != layers)
+        throw std::invalid_argument("Ansatz: entangler count != layers");
+    // Two-qubit ansatze always entangle with CZ, whatever the caller
+    // tagged the layers with (keeps pulse accounting correct).
+    if (numQubits_ == 2)
+        entanglers_.assign(static_cast<size_t>(layers), Entangler::Cz01);
+}
+
+long
+Ansatz::pulses() const
+{
+    long total = static_cast<long>(numQubits_) * (layers_ + 1);  // U3 columns
+    for (const auto e : entanglers_) {
+        // Pulse pattern generalizes Fig 3: 2 pi pulses per control plus
+        // one 2*pi pulse: CZ = 3, CCZ = 5, CCCZ = 7.
+        total += e == Entangler::Cccz ? 7 : e == Entangler::Ccz ? 5 : 3;
+    }
+    return total;
+}
+
+Matrix
+Ansatz::entanglerMatrix(int layer) const
+{
+    const Entangler e = entanglers_[static_cast<size_t>(layer)];
+    if (numQubits_ == 2)
+        return Matrix::diagonal({1, 1, 1, -1});
+    if (numQubits_ == 4) {
+        auto m = Matrix::identity(16);
+        m(15, 15) = -1;  // CCCZ.
+        return m;
+    }
+    switch (e) {
+      case Entangler::Ccz: {
+        auto m = Matrix::identity(8);
+        m(7, 7) = -1;
+        return m;
+      }
+      case Entangler::Cz01: {
+        // -1 whenever local bits 0 and 1 are both set.
+        auto m = Matrix::identity(8);
+        m(3, 3) = m(7, 7) = -1;
+        return m;
+      }
+      case Entangler::Cz02: {
+        auto m = Matrix::identity(8);
+        m(5, 5) = m(7, 7) = -1;
+        return m;
+      }
+      case Entangler::Cz12: {
+        auto m = Matrix::identity(8);
+        m(6, 6) = m(7, 7) = -1;
+        return m;
+      }
+      default:
+        break;
+    }
+    throw std::logic_error("Ansatz: unhandled entangler");
+}
+
+Matrix
+Ansatz::unitary(const std::vector<double> &angles) const
+{
+    if (static_cast<int>(angles.size()) != numAngles())
+        throw std::invalid_argument("Ansatz::unitary: wrong angle count");
+
+    auto column = [&](int col) {
+        // Build kron over qubits with qubit 0 as least-significant:
+        // U = u3(q_{n-1}) (x) ... (x) u3(q_0).
+        const int base = col * numQubits_ * 3;
+        Matrix u = u3Matrix(angles[static_cast<size_t>(base + (numQubits_ - 1) * 3)],
+                            angles[static_cast<size_t>(base + (numQubits_ - 1) * 3 + 1)],
+                            angles[static_cast<size_t>(base + (numQubits_ - 1) * 3 + 2)]);
+        for (int q = numQubits_ - 2; q >= 0; --q) {
+            const int o = base + q * 3;
+            u = u.kron(u3Matrix(angles[static_cast<size_t>(o)],
+                                angles[static_cast<size_t>(o + 1)],
+                                angles[static_cast<size_t>(o + 2)]));
+        }
+        return u;
+    };
+
+    Matrix u = column(0);
+    for (int l = 0; l < layers_; ++l)
+        u = column(l + 1) * (entanglerMatrix(l) * u);
+    return u;
+}
+
+Complex
+Ansatz::overlapTrace(const Matrix &target,
+                     const std::vector<double> &angles) const
+{
+    const int dim = 1 << numQubits_;
+    if (target.rows() != dim || target.cols() != dim)
+        throw std::invalid_argument("overlapTrace: target dimension");
+    if (static_cast<int>(angles.size()) != numAngles())
+        throw std::invalid_argument("overlapTrace: wrong angle count");
+
+    // cur = running product, built column by column. All buffers are
+    // 8x8 max, row-major, on the stack.
+    Complex cur[256], tmp[256], u3s[4][4];
+
+    auto loadColumn = [&](int col) {
+        const int base = col * numQubits_ * 3;
+        for (int q = 0; q < numQubits_; ++q) {
+            const double th = angles[static_cast<size_t>(base + q * 3)];
+            const double ph = angles[static_cast<size_t>(base + q * 3 + 1)];
+            const double la = angles[static_cast<size_t>(base + q * 3 + 2)];
+            const double c = std::cos(th / 2.0), s = std::sin(th / 2.0);
+            u3s[q][0] = c;
+            u3s[q][1] = -std::exp(kI * la) * s;
+            u3s[q][2] = std::exp(kI * ph) * s;
+            u3s[q][3] = std::exp(kI * (ph + la)) * c;
+        }
+    };
+    auto columnEntry = [&](int r, int c) {
+        Complex v = 1.0;
+        for (int q = 0; q < numQubits_; ++q) {
+            const int rb = (r >> q) & 1, cb = (c >> q) & 1;
+            v *= u3s[q][rb * 2 + cb];
+            if (v == Complex{})
+                return v;
+        }
+        return v;
+    };
+
+    loadColumn(0);
+    for (int r = 0; r < dim; ++r)
+        for (int c = 0; c < dim; ++c)
+            cur[r * dim + c] = columnEntry(r, c);
+
+    for (int l = 0; l < layers_; ++l) {
+        // Diagonal entangler: flip the sign of the affected rows.
+        const Entangler e = numQubits_ == 2 ? Entangler::Cz01
+                                            : entanglers_[static_cast<size_t>(l)];
+        for (int r = 0; r < dim; ++r) {
+            bool flip;
+            if (numQubits_ == 2) {
+                flip = r == 3;
+            } else if (numQubits_ == 4) {
+                flip = r == 15;  // CCCZ.
+            } else {
+                switch (e) {
+                  case Entangler::Ccz:
+                    flip = r == 7;
+                    break;
+                  case Entangler::Cz01:
+                    flip = (r & 3) == 3;
+                    break;
+                  case Entangler::Cz02:
+                    flip = (r & 5) == 5;
+                    break;
+                  default:  // Cz12
+                    flip = (r & 6) == 6;
+                    break;
+                }
+            }
+            if (flip)
+                for (int c = 0; c < dim; ++c)
+                    cur[r * dim + c] = -cur[r * dim + c];
+        }
+        // cur = column(l+1) * cur.
+        loadColumn(l + 1);
+        Complex colBuf[256];
+        for (int r = 0; r < dim; ++r)
+            for (int k = 0; k < dim; ++k)
+                colBuf[r * dim + k] = columnEntry(r, k);
+        for (int r = 0; r < dim; ++r) {
+            for (int c = 0; c < dim; ++c) {
+                Complex acc{};
+                for (int k = 0; k < dim; ++k)
+                    acc += colBuf[r * dim + k] * cur[k * dim + c];
+                tmp[r * dim + c] = acc;
+            }
+        }
+        for (int i = 0; i < dim * dim; ++i)
+            cur[i] = tmp[i];
+    }
+
+    Complex t{};
+    for (int r = 0; r < dim; ++r)
+        for (int c = 0; c < dim; ++c)
+            t += std::conj(target(r, c)) * cur[r * dim + c];
+    return t;
+}
+
+Circuit
+Ansatz::toCircuit(const std::vector<double> &angles) const
+{
+    if (numQubits_ == 4)
+        throw std::logic_error(
+            "Ansatz::toCircuit: 4-qubit ansatze are for composability "
+            "studies only (no CCCZ gate kind in the IR)");
+    if (static_cast<int>(angles.size()) != numAngles())
+        throw std::invalid_argument("Ansatz::toCircuit: wrong angle count");
+    Circuit out(numQubits_);
+    auto emitColumn = [&](int col) {
+        const int base = col * numQubits_ * 3;
+        for (int q = 0; q < numQubits_; ++q) {
+            const int o = base + q * 3;
+            out.u3(q, angles[static_cast<size_t>(o)],
+                   angles[static_cast<size_t>(o + 1)],
+                   angles[static_cast<size_t>(o + 2)]);
+        }
+    };
+    emitColumn(0);
+    for (int l = 0; l < layers_; ++l) {
+        if (numQubits_ == 2) {
+            out.cz(0, 1);
+        } else {
+            switch (entanglers_[static_cast<size_t>(l)]) {
+              case Entangler::Ccz:
+                out.ccz(0, 1, 2);
+                break;
+              case Entangler::Cz01:
+                out.cz(0, 1);
+                break;
+              case Entangler::Cz02:
+                out.cz(0, 2);
+                break;
+              case Entangler::Cz12:
+                out.cz(1, 2);
+                break;
+            }
+        }
+        emitColumn(l + 1);
+    }
+    return out;
+}
+
+}  // namespace geyser

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The parameterized block-composition ansatz of paper Fig 10: a column of
+ * U3 gates, followed per layer by an entangler (CCZ for 3-qubit blocks,
+ * CZ for 2-qubit blocks) and another U3 column. One layer of the 3-qubit
+ * ansatz carries 18 angles + 1 categorical entangler configuration
+ * (19 parameters); each extra layer adds 9 angles + 1 categorical
+ * (29 for two layers), exactly as in the paper.
+ *
+ * CCZ is permutation-invariant, so in the default (paper) entangler mode
+ * the categorical parameter selects the pulse-schedule orientation (which
+ * atom receives the 2-pi pulse) and cannot change the unitary; the
+ * Extended mode instead lets each layer choose among {CZ on one of the
+ * three pairs, CCZ}, which does change both the unitary and the pulse
+ * cost (an ablation of this repo).
+ */
+#ifndef GEYSER_COMPOSE_ANSATZ_HPP
+#define GEYSER_COMPOSE_ANSATZ_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace geyser {
+
+/** How the per-layer categorical parameter is interpreted. */
+enum class EntanglerMode {
+    PaperCcz,  ///< Every layer uses CCZ; categorical = pulse orientation.
+    Extended,  ///< Layers choose among CZ(0,1), CZ(0,2), CZ(1,2), CCZ.
+};
+
+/** The discrete entangler choice of one layer (Extended mode). */
+enum class Entangler : uint8_t { Cz01, Cz02, Cz12, Ccz, Cccz };
+
+/**
+ * A fixed-depth ansatz over 2 or 3 qubits. The angle vector layout is
+ * column-major: (layers+1) columns of numQubits U3 gates, each gate
+ * contributing (theta, phi, lambda) in order.
+ */
+class Ansatz
+{
+  public:
+    /**
+     * @param num_qubits 2, 3, or 4. The 4-qubit form (CCCZ entanglers,
+     *        the paper's rejected square-lattice alternative, Sec 3.2)
+     *        supports unitary()/overlapTrace() for composability
+     *        studies; toCircuit() requires CCCZ hardware support and
+     *        throws.
+     * @param layers Number of entangler layers (>= 1).
+     * @param entanglers Per-layer choice; for 2-qubit ansatze and
+     *        PaperCcz mode this is ignored (CZ / CCZ respectively).
+     */
+    Ansatz(int num_qubits, int layers,
+           std::vector<Entangler> entanglers = {});
+
+    int numQubits() const { return numQubits_; }
+    int layers() const { return layers_; }
+
+    /** Number of angle parameters: numQubits * 3 * (layers + 1). */
+    int numAngles() const { return numQubits_ * 3 * (layers_ + 1); }
+
+    /**
+     * Total parameter count as the paper reports it (angles plus one
+     * categorical per layer): 19 for one 3-qubit layer, 29 for two.
+     */
+    int numParameters() const { return numAngles() + layers_; }
+
+    /** Physical pulse cost: one per U3 plus 3 (CZ) or 5 (CCZ) per layer. */
+    long pulses() const;
+
+    /** The ansatz unitary for the given angles (2^n x 2^n). */
+    Matrix unitary(const std::vector<double> &angles) const;
+
+    /**
+     * Tr(target^dagger U(angles)) computed with fixed stack buffers —
+     * the optimizer hot path (millions of calls per composition), so no
+     * heap allocation. Equivalent to tracing against unitary(angles).
+     */
+    Complex overlapTrace(const Matrix &target,
+                         const std::vector<double> &angles) const;
+
+    /** Materialize the ansatz as a physical circuit over local qubits. */
+    Circuit toCircuit(const std::vector<double> &angles) const;
+
+    /**
+     * Kind of angle at a given index: 0 = theta, 1 = phi, 2 = lambda.
+     * Used by the rotosolve coordinate optimizer to pick the closed-form
+     * update rule.
+     */
+    int angleRole(int index) const { return index % 3; }
+
+  private:
+    Matrix entanglerMatrix(int layer) const;
+
+    int numQubits_;
+    int layers_;
+    std::vector<Entangler> entanglers_;
+};
+
+}  // namespace geyser
+
+#endif  // GEYSER_COMPOSE_ANSATZ_HPP

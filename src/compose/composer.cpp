@@ -1,0 +1,431 @@
+#include "compose/composer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "opt/dual_annealing.hpp"
+#include "sim/unitary_sim.hpp"
+#include "transpile/zyz.hpp"
+
+namespace geyser {
+
+namespace {
+
+/** Tr(target^dagger U) as a complex number. */
+Complex
+overlapTrace(const Matrix &target, const Matrix &u)
+{
+    Complex t{};
+    for (int i = 0; i < target.rows(); ++i)
+        for (int j = 0; j < target.cols(); ++j)
+            t += std::conj(target(i, j)) * u(i, j);
+    return t;
+}
+
+double
+hsdFromTrace(Complex t, int dim)
+{
+    return 1.0 - std::abs(t) / static_cast<double>(dim);
+}
+
+/** Exact resynthesis of a block with no entangling gates. */
+ComposeResult
+composeWithoutEntanglers(const Circuit &block)
+{
+    ComposeResult result;
+    result.composed = true;
+    result.hsd = 0.0;
+
+    Circuit out(block.numQubits());
+    for (Qubit q = 0; q < block.numQubits(); ++q) {
+        Matrix m = Matrix::identity(2);
+        bool any = false;
+        for (const auto &g : block.gates()) {
+            if (g.numQubits() == 1 && g.qubit(0) == q) {
+                m = g.matrix() * m;
+                any = true;
+            }
+        }
+        if (any && !isIdentityUpToPhase(m)) {
+            const U3Params p = u3FromMatrix(m);
+            out.u3(q, p.theta, p.phi, p.lambda);
+        }
+    }
+    result.pulsesSaved = block.totalPulses() - out.totalPulses();
+    result.circuit = std::move(out);
+    return result;
+}
+
+}  // namespace
+
+double
+rotosolve(const Ansatz &ansatz, const Matrix &target,
+          std::vector<double> &angles, int max_sweeps, double stop_at,
+          long &evaluations)
+{
+    const int dim = target.rows();
+    auto trace = [&](const std::vector<double> &a) {
+        ++evaluations;
+        return ansatz.overlapTrace(target, a);
+    };
+
+    double best = hsdFromTrace(trace(angles), dim);
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        const double sweepStart = best;
+        for (int i = 0; i < ansatz.numAngles(); ++i) {
+            const int role = ansatz.angleRole(i);
+            const double saved = angles[static_cast<size_t>(i)];
+
+            angles[static_cast<size_t>(i)] = 0.0;
+            const Complex t0 = trace(angles);
+            angles[static_cast<size_t>(i)] = kPi;
+            const Complex t1 = trace(angles);
+
+            double vstar;
+            double amp;
+            if (role == 0) {
+                // theta: t(v) = t0 cos(v/2) + t1 sin(v/2).
+                const double a2 = std::norm(t0);
+                const double b2 = std::norm(t1);
+                const double c = (std::conj(t0) * t1).real();
+                vstar = std::atan2(2.0 * c, a2 - b2);
+                const double half = vstar / 2.0;
+                amp = std::abs(t0 * std::cos(half) + t1 * std::sin(half));
+            } else {
+                // phi / lambda: t(v) = a + b e^{iv} with a = (t0+t1)/2,
+                // b = (t0-t1)/2; the optimum aligns b e^{iv} with a.
+                const Complex a = 0.5 * (t0 + t1);
+                const Complex b = 0.5 * (t0 - t1);
+                vstar = std::arg(a) - std::arg(b);
+                amp = std::abs(a) + std::abs(b);
+            }
+            const double candidate = 1.0 - amp / static_cast<double>(dim);
+            if (candidate <= best + 1e-15) {
+                angles[static_cast<size_t>(i)] = vstar;
+                best = std::min(best, candidate);
+            } else {
+                angles[static_cast<size_t>(i)] = saved;
+            }
+            if (best <= stop_at)
+                return best;
+        }
+        // Early-abandon by convergence projection: coordinate descent
+        // shrinks the gap to the target roughly geometrically. If the
+        // observed per-sweep ratio cannot close the gap within the
+        // remaining sweep budget, stop now (basin hops will try a
+        // different start instead).
+        const double gapBefore = sweepStart - stop_at;
+        const double gapAfter = best - stop_at;
+        if (gapAfter <= 0.0)
+            break;
+        const double ratio = gapAfter / std::max(gapBefore, 1e-300);
+        if (ratio >= 1.0 - 1e-12)
+            break;  // No measurable progress.
+        // Early convergence is often slower than the asymptotic rate, so
+        // only project after a few sweeps and keep a 2x safety factor.
+        if (sweep < 8)
+            continue;
+        const double margin = std::max(0.5 * stop_at, 1e-12);
+        const double needed =
+            std::log(gapAfter / margin) / -std::log(ratio);
+        if (needed > 2.0 * static_cast<double>(max_sweeps - sweep - 1))
+            break;
+    }
+    return best;
+}
+
+ComposeResult
+composeBlock(const Circuit &block, const ComposeOptions &options)
+{
+    if (block.numQubits() < 1 || block.numQubits() > 3)
+        throw std::invalid_argument("composeBlock: block must be 1-3 qubits");
+
+    bool hasEntangler = false;
+    for (const auto &g : block.gates())
+        if (g.isEntangling())
+            hasEntangler = true;
+    if (!hasEntangler)
+        return composeWithoutEntanglers(block);
+
+    ComposeResult result;
+    result.circuit = block;
+    const long origPulses = block.totalPulses();
+    const Matrix target = circuitUnitary(block);
+    const int dim = target.rows();
+
+    Rng rng(options.seed);
+    const bool useRoto = options.optimizer == ComposeOptimizer::Rotosolve ||
+                         options.optimizer == ComposeOptimizer::Hybrid;
+    const bool useAnneal =
+        options.optimizer == ComposeOptimizer::DualAnnealing ||
+        options.optimizer == ComposeOptimizer::Hybrid;
+
+    std::vector<Entangler> entanglers;
+    for (int layers = 1; layers <= options.maxLayers; ++layers) {
+        Entangler depthBestEntangler = Entangler::Ccz;
+        double depthBestHsd = 2.0;
+        // Candidate per-layer entangler choices to try at this depth.
+        std::vector<Entangler> tries{Entangler::Ccz};
+        if (options.entanglerMode == EntanglerMode::Extended &&
+            block.numQubits() == 3)
+            tries = {Entangler::Ccz, Entangler::Cz01, Entangler::Cz02,
+                     Entangler::Cz12};
+
+        for (const Entangler e : tries) {
+            auto chosen = entanglers;
+            chosen.push_back(e);
+            const Ansatz ansatz(block.numQubits(), layers, chosen);
+            if (ansatz.pulses() >= origPulses)
+                continue;
+
+            const long depthStart = result.evaluations;
+            // Budget scales with the search dimensionality: deeper
+            // ansatze get proportionally more evaluations.
+            const long depthBudget =
+                options.maxEvaluationsPerBlock *
+                std::max(1, ansatz.numAngles() / 18);
+            auto depthBudgetLeft = [&] {
+                return result.evaluations - depthStart < depthBudget;
+            };
+            double bestHsd = 1.0;
+            std::vector<double> bestAngles;
+
+            // A depth whose best HSD stays far from the threshold after
+            // several restarts almost certainly cannot represent the
+            // block; spend the remaining budget on deeper ansatze
+            // instead.
+            const double hopeless = std::max(0.25, 500.0 * options.threshold);
+            if (useRoto) {
+                // Explore-then-exploit: good basins can be narrow, so
+                // basin *discovery* (many short runs) matters more than
+                // deep polishing of a few starts. Triage with short
+                // sweeps, keep the most promising starts, then polish.
+                struct Start
+                {
+                    double hsd;
+                    std::vector<double> angles;
+                };
+                std::vector<Start> shortlist;
+                auto consider = [&](double h, std::vector<double> angles) {
+                    shortlist.push_back({h, std::move(angles)});
+                    std::sort(shortlist.begin(), shortlist.end(),
+                              [](const Start &x, const Start &y) {
+                                  return x.hsd < y.hsd;
+                              });
+                    if (shortlist.size() > 3)
+                        shortlist.pop_back();
+                };
+                const int triage = 4 * options.restarts;
+                const int triageSweeps = std::max(10, options.maxSweeps / 10);
+                for (int r = 0; r < triage; ++r) {
+                    // Reserve ~40% of the budget for polish and hops.
+                    if (result.evaluations - depthStart >
+                        depthBudget * 6 / 10)
+                        break;
+                    // Start schedule: zeros (structured blocks are often
+                    // near sparse-angle solutions), a small perturbation
+                    // of zeros, then fully random points.
+                    std::vector<double> angles;
+                    if (r == 0) {
+                        angles.assign(
+                            static_cast<size_t>(ansatz.numAngles()), 0.0);
+                    } else if (r == 1) {
+                        angles = rng.uniformVector(ansatz.numAngles(),
+                                                   -0.3, 0.3);
+                    } else {
+                        angles = rng.uniformVector(ansatz.numAngles(), 0.0,
+                                                   2.0 * kPi);
+                    }
+                    const double h =
+                        rotosolve(ansatz, target, angles, triageSweeps,
+                                  options.threshold, result.evaluations);
+                    if (h <= options.threshold) {
+                        bestHsd = h;
+                        bestAngles = std::move(angles);
+                        break;
+                    }
+                    consider(h, std::move(angles));
+                }
+                for (auto &start : shortlist) {
+                    if (bestHsd <= options.threshold || !depthBudgetLeft())
+                        break;
+                    const double h =
+                        rotosolve(ansatz, target, start.angles,
+                                  options.maxSweeps, options.threshold,
+                                  result.evaluations);
+                    if (h < bestHsd) {
+                        bestHsd = h;
+                        bestAngles = start.angles;
+                    }
+                }
+                // Basin hopping: perturb the best point and re-sweep
+                // with shrinking step sizes. Escapes the shallow local
+                // minima coordinate descent can stall in.
+                for (int hop = 0;
+                     hop < 2 * options.restarts &&
+                     bestHsd > options.threshold && bestHsd < hopeless &&
+                     depthBudgetLeft();
+                     ++hop) {
+                    const double sigma = hop % 3 == 0 ? 0.5
+                                        : hop % 3 == 1 ? 0.2 : 0.05;
+                    std::vector<double> angles = bestAngles;
+                    for (auto &a : angles)
+                        a += sigma * rng.normal();
+                    const double h =
+                        rotosolve(ansatz, target, angles, options.maxSweeps,
+                                  options.threshold, result.evaluations);
+                    if (h < bestHsd) {
+                        bestHsd = h;
+                        bestAngles = angles;
+                    }
+                }
+            }
+            if (useAnneal && bestHsd > options.threshold &&
+                (bestHsd < hopeless || !useRoto) && depthBudgetLeft()) {
+                const int n = ansatz.numAngles();
+                const std::vector<double> lo(static_cast<size_t>(n), 0.0);
+                const std::vector<double> hi(static_cast<size_t>(n),
+                                             2.0 * kPi);
+                DualAnnealingOptions da;
+                da.maxEvaluations = options.annealingEvaluations;
+                da.targetValue = options.threshold;
+                da.seed = options.seed + static_cast<uint64_t>(layers);
+                const auto out = dualAnnealing(
+                    [&](const std::vector<double> &a) {
+                        return hsdFromTrace(ansatz.overlapTrace(target, a),
+                                            dim);
+                    },
+                    lo, hi, da);
+                result.evaluations += out.evaluations;
+                std::vector<double> polished = out.x;
+                const double h =
+                    rotosolve(ansatz, target, polished, 30,
+                              options.threshold, result.evaluations);
+                if (h < bestHsd) {
+                    bestHsd = h;
+                    bestAngles = polished;
+                }
+            }
+
+            if (bestHsd <= options.threshold) {
+                result.circuit = ansatz.toCircuit(bestAngles);
+                result.composed = true;
+                result.layersUsed = layers;
+                result.hsd = bestHsd;
+                result.pulsesSaved = origPulses - ansatz.pulses();
+                return result;
+            }
+            if (bestHsd < depthBestHsd) {
+                depthBestHsd = bestHsd;
+                depthBestEntangler = e;
+            }
+        }
+        // Greedy layer-wise structure search (Extended mode): extend
+        // with the entangler whose depth came closest to the target.
+        entanglers.push_back(depthBestEntangler);
+    }
+    // No composed circuit beat the original: keep the original block.
+    result.composed = false;
+    result.hsd = 0.0;
+    result.pulsesSaved = 0;
+    return result;
+}
+
+namespace {
+
+/**
+ * Composition with fallback splitting: when the whole block cannot be
+ * composed, try composing its halves (prefix/suffix over the same
+ * qubits -- their concatenation is trivially the same circuit).
+ */
+ComposeResult
+composeRecursive(const Circuit &block, const ComposeOptions &options,
+                 int depth)
+{
+    ComposeResult direct = composeBlock(block, options);
+    if (direct.composed || depth >= options.maxSplitDepth ||
+        block.size() < 6)
+        return direct;
+
+    const size_t mid = block.size() / 2;
+    Circuit first(block.numQubits()), second(block.numQubits());
+    for (size_t i = 0; i < block.size(); ++i)
+        (i < mid ? first : second).append(block.gates()[i]);
+
+    ComposeOptions sub = options;
+    sub.seed = options.seed + 0x9e3779b9u * static_cast<uint64_t>(depth + 1);
+    ComposeResult ra = composeRecursive(first, sub, depth + 1);
+    ComposeResult rb = composeRecursive(second, sub, depth + 1);
+    direct.evaluations += ra.evaluations + rb.evaluations;
+    if (!ra.composed && !rb.composed)
+        return direct;
+
+    Circuit combined = ra.circuit;
+    combined.append(rb.circuit);
+    if (combined.totalPulses() >= block.totalPulses())
+        return direct;
+
+    ComposeResult result;
+    result.circuit = std::move(combined);
+    result.composed = true;
+    result.layersUsed = std::max(ra.layersUsed, rb.layersUsed);
+    // Unitary errors of concatenated halves add at most linearly.
+    result.hsd = ra.hsd + rb.hsd;
+    result.evaluations = direct.evaluations;
+    result.pulsesSaved = block.totalPulses() - result.circuit.totalPulses();
+    return result;
+}
+
+/** Memo key: exact gate content plus the search-relevant options. */
+std::string
+memoKey(const Circuit &block, const ComposeOptions &options)
+{
+    std::string key;
+    key.reserve(block.size() * 32 + 64);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "n%d|t%.3e|L%d|o%d|m%d|r%d|s%d|d%d|",
+                  block.numQubits(), options.threshold, options.maxLayers,
+                  static_cast<int>(options.optimizer),
+                  static_cast<int>(options.entanglerMode), options.restarts,
+                  options.maxSweeps, options.maxSplitDepth);
+    key += buf;
+    for (const auto &g : block.gates()) {
+        std::snprintf(buf, sizeof(buf), "%d:%d,%d,%d:%.17g,%.17g,%.17g;",
+                      static_cast<int>(g.kind()), g.qubit(0),
+                      g.numQubits() > 1 ? g.qubit(1) : -1,
+                      g.numQubits() > 2 ? g.qubit(2) : -1, g.param(0),
+                      g.param(1), g.param(2));
+        key += buf;
+    }
+    return key;
+}
+
+std::mutex memoMutex;
+std::unordered_map<std::string, ComposeResult> memo;
+
+}  // namespace
+
+ComposeResult
+composeBlockCached(const Circuit &block, const ComposeOptions &options)
+{
+    const std::string key = memoKey(block, options);
+    {
+        std::lock_guard<std::mutex> lock(memoMutex);
+        const auto it = memo.find(key);
+        if (it != memo.end())
+            return it->second;
+    }
+    const ComposeResult result = composeRecursive(block, options, 0);
+    {
+        std::lock_guard<std::mutex> lock(memoMutex);
+        memo.emplace(key, result);
+    }
+    return result;
+}
+
+}  // namespace geyser

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Block composition (paper Sec 3.4, Algorithm 2): replace a block's gate
+ * sequence by an equivalent ansatz circuit with native CCZ gates and
+ * fewer pulses. Layers are added one at a time; at each depth the ansatz
+ * angles are optimized to minimize the Hilbert-Schmidt distance to the
+ * block's unitary, stopping when the distance drops below the threshold
+ * or the composed pulse count would exceed the original's.
+ *
+ * Two optimizers are available:
+ *  - DualAnnealing: the paper's choice (global annealing + local polish).
+ *  - Rotosolve: exact coordinate descent — every U3 angle enters the
+ *    trace Tr(O^dagger C) sinusoidally, so its optimum given the other
+ *    angles has a closed form; sweeps converge monotonically.
+ * The default Hybrid strategy runs cheap rotosolve restarts first and
+ * falls back to dual annealing.
+ */
+#ifndef GEYSER_COMPOSE_COMPOSER_HPP
+#define GEYSER_COMPOSE_COMPOSER_HPP
+
+#include "compose/ansatz.hpp"
+#include "linalg/matrix.hpp"
+
+namespace geyser {
+
+/** Optimization strategy for the angle search. */
+enum class ComposeOptimizer { Rotosolve, DualAnnealing, Hybrid };
+
+/** Options for composing one block. */
+struct ComposeOptions
+{
+    /** HSD acceptance threshold (paper uses 1e-5). */
+    double threshold = 1e-5;
+    /** Hard cap on ansatz layers tried. */
+    int maxLayers = 6;
+    ComposeOptimizer optimizer = ComposeOptimizer::Hybrid;
+    EntanglerMode entanglerMode = EntanglerMode::PaperCcz;
+    /** Rotosolve restarts per layer depth (zeros, near-zeros, random). */
+    int restarts = 8;
+    /** Rotosolve sweep budget per restart. */
+    int maxSweeps = 400;
+    /**
+     * Objective-evaluation budget per ansatz depth tried for one block
+     * (each depth gets a fresh slice, so deeper — often easier —
+     * ansatze are never starved by failed shallow searches). Blocks
+     * that cannot compose keep their original circuit, as always.
+     */
+    long maxEvaluationsPerBlock = 60000;
+    /** Dual-annealing evaluation budget per layer depth (Hybrid/DA). */
+    int annealingEvaluations = 60000;
+    /**
+     * When a whole block fails to compose, split it at the midpoint and
+     * compose the halves independently (recursively, up to this depth).
+     * Over-greedy blocks often contain recomposable sub-patterns (e.g.
+     * a full Toffoli inside a long MAJ/UMA chain) even when the whole
+     * block exceeds the expressible ansatz depth. 0 disables splitting.
+     */
+    int maxSplitDepth = 2;
+    uint64_t seed = 7;
+};
+
+/** Outcome of composing one block. */
+struct ComposeResult
+{
+    Circuit circuit;      ///< Adopted circuit (composed or the original).
+    bool composed = false;///< True if the ansatz replaced the original.
+    int layersUsed = 0;   ///< Ansatz depth when composed.
+    double hsd = 0.0;     ///< Distance achieved by the adopted circuit.
+    long evaluations = 0; ///< Objective evaluations spent.
+    long pulsesSaved = 0; ///< originalPulses - adoptedPulses (>= 0).
+};
+
+/**
+ * Compose a block circuit over 1-3 local qubits. Entangler-free blocks
+ * are resynthesized exactly (one U3 per active qubit) without any
+ * search. Otherwise Algorithm 2 runs. The returned circuit is always
+ * mathematically equivalent to the input within options.threshold.
+ */
+ComposeResult composeBlock(const Circuit &block,
+                           const ComposeOptions &options = {});
+
+/**
+ * composeBlock() through a process-wide memo keyed on the block's exact
+ * gate content and the options. Trotterized and arithmetic circuits
+ * produce the same local block many times (every Trotter step repeats
+ * the bond pattern), so memoization removes most of the composition
+ * cost. Thread-safe. The memo ignores options.seed (results for a given
+ * block/option set are reused across seeds).
+ */
+ComposeResult composeBlockCached(const Circuit &block,
+                                 const ComposeOptions &options = {});
+
+/**
+ * Rotosolve: minimize 1 - |Tr(target^dagger U(angles))| / dim over the
+ * ansatz angles by exact coordinate descent from the given start point.
+ * Returns the best angles found through `angles` and the achieved HSD.
+ */
+double rotosolve(const Ansatz &ansatz, const Matrix &target,
+                 std::vector<double> &angles, int max_sweeps,
+                 double stop_at, long &evaluations);
+
+}  // namespace geyser
+
+#endif  // GEYSER_COMPOSE_COMPOSER_HPP

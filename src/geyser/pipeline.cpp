@@ -1,0 +1,240 @@
+#include "geyser/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuit/schedule.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/passes.hpp"
+#include "transpile/router.hpp"
+#include "transpile/sabre.hpp"
+
+namespace geyser {
+
+const char *
+techniqueName(Technique technique)
+{
+    switch (technique) {
+      case Technique::Baseline:
+        return "Baseline";
+      case Technique::OptiMap:
+        return "OptiMap";
+      case Technique::Geyser:
+        return "Geyser";
+      case Technique::Superconducting:
+        return "Superconducting";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Shared mapping step: lower, (optionally) optimize, route, re-optimize. */
+CompileResult
+mapCircuit(Technique technique, const Circuit &logical, const Topology &topo,
+           bool optimized)
+{
+    CompileResult result;
+    result.technique = technique;
+    result.logical = logical;
+    result.topology = topo;
+
+    Circuit physical = decomposeToBasis(logical);
+    if (optimized)
+        optimize(physical);
+    // Baseline routes from the trivial layout ("no mapping
+    // optimizations"); the optimizing techniques try several routing
+    // strategies (trivial walk, interaction-aware greedy layout, SABRE
+    // lookahead) and keep the cheapest result.
+    RoutedCircuit routed = route(physical, topo);
+    if (optimized) {
+        optimize(routed.circuit);
+        const auto greedyLayout = chooseInitialLayout(physical, topo);
+        RoutedCircuit candidates[] = {
+            route(physical, topo, greedyLayout),
+            routeSabre(physical, topo, greedyLayout),
+        };
+        for (auto &candidate : candidates) {
+            optimize(candidate.circuit);
+            if (candidate.circuit.totalPulses() <
+                routed.circuit.totalPulses())
+                routed = std::move(candidate);
+        }
+    }
+    result.physical = std::move(routed.circuit);
+    result.finalLayout = std::move(routed.finalLayout);
+    result.swapsInserted = routed.swapsInserted;
+    return result;
+}
+
+void
+fillStats(CompileResult &result)
+{
+    result.stats = circuitStats(result.physical);
+    if (result.technique == Technique::Superconducting) {
+        // Superconducting qubits have no Rydberg restriction zones.
+        result.stats.depthPulses = depthPulses(result.physical);
+    } else {
+        result.stats.depthPulses =
+            depthPulses(result.physical, result.topology);
+    }
+}
+
+}  // namespace
+
+CompileResult
+compileBaseline(const Circuit &logical, const PipelineOptions &)
+{
+    CompileResult result =
+        mapCircuit(Technique::Baseline, logical,
+                   Topology::forQubits(logical.numQubits()), false);
+    fillStats(result);
+    return result;
+}
+
+CompileResult
+compileOptiMap(const Circuit &logical, const PipelineOptions &)
+{
+    CompileResult result =
+        mapCircuit(Technique::OptiMap, logical,
+                   Topology::forQubits(logical.numQubits()), true);
+    fillStats(result);
+    return result;
+}
+
+CompileResult
+compileSuperconducting(const Circuit &logical, const PipelineOptions &)
+{
+    CompileResult result =
+        mapCircuit(Technique::Superconducting, logical,
+                   Topology::squareForQubits(logical.numQubits()), true);
+    fillStats(result);
+    return result;
+}
+
+CompileResult
+compileGeyser(const Circuit &logical, const PipelineOptions &options)
+{
+    CompileResult result =
+        mapCircuit(Technique::Geyser, logical,
+                   Topology::forQubits(logical.numQubits()), true);
+
+    // Blocking (Algorithm 1).
+    BlockedCircuit blocked =
+        blockCircuit(result.physical, result.topology, options.blocker);
+    result.blockCount = blocked.blockCount();
+
+    // Composition (Algorithm 2), independently parallel across blocks.
+    std::vector<const Block *> blocks;
+    for (const auto &round : blocked.rounds)
+        for (const auto &block : round.blocks)
+            blocks.push_back(&block);
+
+    std::vector<ComposeResult> composed(blocks.size());
+    auto composeOne = [&](int i) {
+        // Identical local blocks (every Trotter step, every ripple-carry
+        // stage) share one composition through the memo, so the seed must
+        // not vary per block.
+        composed[static_cast<size_t>(i)] = composeBlockCached(
+            blocked.localCircuit(*blocks[static_cast<size_t>(i)]),
+            options.compose);
+    };
+    if (options.parallelCompose) {
+        globalPool().parallelFor(static_cast<int>(blocks.size()), composeOne);
+    } else {
+        for (int i = 0; i < static_cast<int>(blocks.size()); ++i)
+            composeOne(i);
+    }
+
+    // Reassemble: blocks in round order, each remapped to its atoms.
+    Circuit out(result.topology.numAtoms());
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        const Block &block = *blocks[i];
+        const ComposeResult &cr = composed[i];
+        out.append(cr.circuit.remapped(block.atoms,
+                                       result.topology.numAtoms()));
+        if (cr.composed)
+            ++result.composedBlockCount;
+        result.compositionEvaluations += cr.evaluations;
+        result.maxBlockHsd = std::max(result.maxBlockHsd, cr.hsd);
+    }
+    // If nothing composed, the block-order reshuffle buys nothing: keep
+    // the mapped circuit verbatim (Geyser degenerates to OptiMap, as the
+    // paper reports for the Advantage benchmark).
+    if (result.composedBlockCount > 0)
+        result.physical = std::move(out);
+    fillStats(result);
+    return result;
+}
+
+CompileResult
+compile(Technique technique, const Circuit &logical,
+        const PipelineOptions &options)
+{
+    switch (technique) {
+      case Technique::Baseline:
+        return compileBaseline(logical, options);
+      case Technique::OptiMap:
+        return compileOptiMap(logical, options);
+      case Technique::Geyser:
+        return compileGeyser(logical, options);
+      case Technique::Superconducting:
+        return compileSuperconducting(logical, options);
+    }
+    throw std::invalid_argument("compile: unknown technique");
+}
+
+Distribution
+projectToLogical(const Distribution &physical,
+                 const std::vector<Qubit> &final_layout, int num_logical,
+                 int num_atoms)
+{
+    if (physical.size() != (size_t{1} << num_atoms))
+        throw std::invalid_argument("projectToLogical: size mismatch");
+    Distribution logical(size_t{1} << num_logical, 0.0);
+    for (size_t y = 0; y < physical.size(); ++y) {
+        if (physical[y] == 0.0)
+            continue;
+        size_t x = 0;
+        for (int q = 0; q < num_logical; ++q) {
+            const Qubit atom = final_layout[static_cast<size_t>(q)];
+            if (y & (size_t{1} << atom))
+                x |= size_t{1} << q;
+        }
+        logical[x] += physical[y];
+    }
+    return logical;
+}
+
+double
+evaluateTvd(const CompileResult &result, const NoiseModel &noise,
+            const TrajectoryConfig &config)
+{
+    const Distribution ideal = idealDistribution(result.logical);
+    TrajectoryConfig cfg = config;
+    if (noise.crosstalkPhase > 0.0 && cfg.topology == nullptr)
+        cfg.topology = &result.topology;
+    const Distribution phys =
+        noisyDistribution(result.physical, noise, cfg);
+    const Distribution projected =
+        projectToLogical(phys, result.finalLayout,
+                         result.logical.numQubits(),
+                         result.physical.numQubits());
+    return totalVariationDistance(ideal, projected);
+}
+
+double
+idealTvd(const CompileResult &result)
+{
+    const Distribution ideal = idealDistribution(result.logical);
+    const Distribution phys = idealDistribution(result.physical);
+    const Distribution projected =
+        projectToLogical(phys, result.finalLayout,
+                         result.logical.numQubits(),
+                         result.physical.numQubits());
+    return totalVariationDistance(ideal, projected);
+}
+
+}  // namespace geyser

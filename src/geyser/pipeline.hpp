@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The end-to-end compilation pipeline and the paper's comparative
+ * techniques (Sec 4):
+ *
+ *  - Baseline: lower to {U3, CZ} and route onto the triangular atom
+ *    lattice; no optimization (Baker et al.-style mapping).
+ *  - OptiMap: Baseline plus all gate-level optimizations (1q fusion,
+ *    CZ cancellation) before and after routing.
+ *  - Geyser: OptiMap plus circuit blocking (Algorithm 1) and block
+ *    composition into native CCZ gates (Algorithm 2).
+ *  - Superconducting: OptiMap-style compilation onto a 4-neighbour
+ *    square grid with no CCZ support (the paper's best-case
+ *    superconducting comparison).
+ */
+#ifndef GEYSER_GEYSER_PIPELINE_HPP
+#define GEYSER_GEYSER_PIPELINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.hpp"
+#include "circuit/circuit.hpp"
+#include "compose/composer.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/noise.hpp"
+#include "sim/trajectory.hpp"
+#include "topology/topology.hpp"
+
+namespace geyser {
+
+/** The compilation strategy to apply. */
+enum class Technique { Baseline, OptiMap, Geyser, Superconducting };
+
+/** Display name ("Baseline", "OptiMap", ...). */
+const char *techniqueName(Technique technique);
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    BlockerOptions blocker;
+    ComposeOptions compose;
+    /** Compose blocks concurrently on the global thread pool. */
+    bool parallelCompose = true;
+};
+
+/** Everything the benches report about one compiled circuit. */
+struct CompileResult
+{
+    Technique technique = Technique::Baseline;
+    Circuit logical;                ///< The input program.
+    Circuit physical;               ///< Final circuit over atom indices.
+    Topology topology;              ///< The atom arrangement used.
+    std::vector<Qubit> finalLayout; ///< logical qubit -> atom after routing.
+    CircuitStats stats;             ///< Counts; depth is restriction-aware.
+    int swapsInserted = 0;
+    // Geyser-only details.
+    int blockCount = 0;
+    int composedBlockCount = 0;
+    long compositionEvaluations = 0;
+    double maxBlockHsd = 0.0;
+};
+
+/** Compile with the given technique. */
+CompileResult compile(Technique technique, const Circuit &logical,
+                      const PipelineOptions &options = {});
+
+CompileResult compileBaseline(const Circuit &logical,
+                              const PipelineOptions &options = {});
+CompileResult compileOptiMap(const Circuit &logical,
+                             const PipelineOptions &options = {});
+CompileResult compileGeyser(const Circuit &logical,
+                            const PipelineOptions &options = {});
+CompileResult compileSuperconducting(const Circuit &logical,
+                                     const PipelineOptions &options = {});
+
+/**
+ * Project a distribution over the physical atoms down to the logical
+ * qubits through the final layout (unused atoms are marginalized out).
+ */
+Distribution projectToLogical(const Distribution &physical,
+                              const std::vector<Qubit> &final_layout,
+                              int num_logical, int num_atoms);
+
+/**
+ * TVD between the ideal output of the original program and the noisy
+ * output of the compiled circuit (paper Figs 15-18).
+ */
+double evaluateTvd(const CompileResult &result, const NoiseModel &noise,
+                   const TrajectoryConfig &config = {});
+
+/**
+ * TVD between the ideal outputs of the compiled circuit and the
+ * original program — the paper's Sec 6 fidelity sanity check
+ * (should be < 1e-2 for Geyser circuits).
+ */
+double idealTvd(const CompileResult &result);
+
+}  // namespace geyser
+
+#endif  // GEYSER_GEYSER_PIPELINE_HPP

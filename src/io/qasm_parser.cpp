@@ -1,0 +1,314 @@
+#include "io/qasm_parser.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace geyser {
+
+namespace {
+
+/** Recursive-descent evaluator for constant angle expressions. */
+class ExprParser
+{
+  public:
+    explicit ExprParser(const std::string &text) : text_(text) {}
+
+    double parse()
+    {
+        const double v = parseSum();
+        skipSpace();
+        if (pos_ != text_.size())
+            throw std::invalid_argument("trailing characters in expression");
+        return v;
+    }
+
+  private:
+    void skipSpace()
+    {
+        while (pos_ < text_.size() && std::isspace(
+                   static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool eat(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    double parseSum()
+    {
+        double v = parseProduct();
+        for (;;) {
+            if (eat('+'))
+                v += parseProduct();
+            else if (eat('-'))
+                v -= parseProduct();
+            else
+                return v;
+        }
+    }
+
+    double parseProduct()
+    {
+        double v = parseUnary();
+        for (;;) {
+            if (eat('*'))
+                v *= parseUnary();
+            else if (eat('/'))
+                v /= parseUnary();
+            else
+                return v;
+        }
+    }
+
+    double parseUnary()
+    {
+        if (eat('-'))
+            return -parseUnary();
+        if (eat('+'))
+            return parseUnary();
+        return parseAtom();
+    }
+
+    double parseAtom()
+    {
+        skipSpace();
+        if (eat('(')) {
+            const double v = parseSum();
+            if (!eat(')'))
+                throw std::invalid_argument("missing ')' in expression");
+            return v;
+        }
+        if (pos_ + 1 < text_.size() && text_.compare(pos_, 2, "pi") == 0) {
+            pos_ += 2;
+            return kPi;
+        }
+        const size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' ||
+                ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+                 (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))))
+            ++pos_;
+        if (pos_ == start)
+            throw std::invalid_argument("expected number in expression");
+        return std::stod(text_.substr(start, pos_ - start));
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+double
+evalExpr(const std::string &text)
+{
+    return ExprParser(text).parse();
+}
+
+/** Strip comments and split a QASM program into ';'-terminated statements. */
+std::vector<std::pair<int, std::string>>
+splitStatements(const std::string &text)
+{
+    std::string cleaned;
+    cleaned.reserve(text.size());
+    int line = 1;
+    std::vector<int> lineOf;
+    for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+            while (i < text.size() && text[i] != '\n')
+                ++i;
+        }
+        if (i < text.size()) {
+            if (text[i] == '\n')
+                ++line;
+            cleaned.push_back(text[i]);
+            lineOf.push_back(line);
+        }
+    }
+    std::vector<std::pair<int, std::string>> statements;
+    std::string current;
+    int startLine = 1;
+    for (size_t i = 0; i < cleaned.size(); ++i) {
+        const char c = cleaned[i];
+        if (current.empty())
+            startLine = lineOf[i];
+        if (c == ';' || c == '{' || c == '}') {
+            // Gate-definition bodies are not supported; '{'/'}' would
+            // only appear there or in `gate` declarations.
+            std::string trimmed;
+            for (const char ch : current)
+                if (!std::isspace(static_cast<unsigned char>(ch)) ||
+                    !(trimmed.empty() || trimmed.back() == ' '))
+                    trimmed.push_back(
+                        std::isspace(static_cast<unsigned char>(ch)) ? ' '
+                                                                     : ch);
+            while (!trimmed.empty() && trimmed.back() == ' ')
+                trimmed.pop_back();
+            if (!trimmed.empty())
+                statements.emplace_back(startLine, trimmed);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    return statements;
+}
+
+[[noreturn]] void
+fail(int line, const std::string &message)
+{
+    std::ostringstream out;
+    out << "qasm:" << line << ": " << message;
+    throw std::invalid_argument(out.str());
+}
+
+}  // namespace
+
+Circuit
+circuitFromQasm(const std::string &text)
+{
+    const auto statements = splitStatements(text);
+    Circuit circuit;
+    std::string qreg;
+    bool sawHeader = false;
+
+    for (const auto &[line, stmt] : statements) {
+        std::istringstream in(stmt);
+        std::string head;
+        in >> head;
+        if (head == "OPENQASM") {
+            sawHeader = true;
+            continue;
+        }
+        if (head == "include" || head == "creg" || head == "barrier" ||
+            head == "measure")
+            continue;
+        if (head == "gate" || head == "opaque" || head == "if" ||
+            head == "reset")
+            fail(line, "unsupported statement: " + head);
+        if (head == "qreg") {
+            std::string decl;
+            std::getline(in, decl);
+            const size_t lb = decl.find('[');
+            const size_t rb = decl.find(']');
+            if (lb == std::string::npos || rb == std::string::npos)
+                fail(line, "malformed qreg");
+            std::string name = decl.substr(0, lb);
+            while (!name.empty() && name.front() == ' ')
+                name.erase(name.begin());
+            if (!qreg.empty())
+                fail(line, "multiple quantum registers are not supported");
+            qreg = name;
+            circuit.setNumQubits(
+                std::stoi(decl.substr(lb + 1, rb - lb - 1)));
+            continue;
+        }
+
+        // A gate application: name[(params)] operand[, operand...]
+        if (qreg.empty())
+            fail(line, "gate application before qreg declaration");
+        std::string name = head;
+        std::string params;
+        const size_t paren = name.find('(');
+        std::string rest;
+        std::getline(in, rest);
+        if (paren != std::string::npos) {
+            // Parameters may continue into `rest` until the *matching*
+            // closing ')' (expressions can contain parentheses).
+            std::string whole = name.substr(paren + 1) + rest;
+            size_t close = std::string::npos;
+            int depth = 1;
+            for (size_t i = 0; i < whole.size(); ++i) {
+                if (whole[i] == '(')
+                    ++depth;
+                else if (whole[i] == ')' && --depth == 0) {
+                    close = i;
+                    break;
+                }
+            }
+            if (close == std::string::npos)
+                fail(line, "missing ')' in gate parameters");
+            params = whole.substr(0, close);
+            rest = whole.substr(close + 1);
+            name = name.substr(0, paren);
+        }
+
+        // Map QASM mnemonics to IR names.
+        if (name == "u1")
+            name = "p";
+        else if (name == "cu1")
+            name = "cp";
+        else if (name == "cnot")
+            name = "cx";
+        else if (name == "u" || name == "U")
+            name = "u3";
+
+        GateKind kind;
+        try {
+            kind = gateKindFromName(name);
+        } catch (const std::exception &) {
+            fail(line, "unsupported gate: " + name);
+        }
+
+        // Parse parameters.
+        std::vector<double> values;
+        if (!params.empty()) {
+            std::string token;
+            std::istringstream ps(params);
+            while (std::getline(ps, token, ','))
+                values.push_back(evalExpr(token));
+        }
+        if (static_cast<int>(values.size()) != gateKindParamCount(kind))
+            fail(line, "wrong parameter count for " + name);
+
+        // Parse operands q[i].
+        std::vector<Qubit> qubits;
+        std::string token;
+        std::istringstream qs(rest);
+        while (std::getline(qs, token, ',')) {
+            const size_t lb = token.find('[');
+            const size_t rb = token.find(']');
+            if (lb == std::string::npos || rb == std::string::npos)
+                fail(line, "malformed operand: " + token);
+            qubits.push_back(
+                std::stoi(token.substr(lb + 1, rb - lb - 1)));
+        }
+        if (static_cast<int>(qubits.size()) != gateKindArity(kind))
+            fail(line, "wrong operand count for " + name);
+
+        switch (qubits.size()) {
+          case 1:
+            circuit.append(Gate(kind, qubits[0],
+                                values.size() > 0 ? values[0] : 0.0,
+                                values.size() > 1 ? values[1] : 0.0,
+                                values.size() > 2 ? values[2] : 0.0));
+            break;
+          case 2:
+            circuit.append(Gate(kind, qubits[0], qubits[1],
+                                values.empty() ? 0.0 : values[0]));
+            break;
+          default:
+            circuit.append(Gate(kind, qubits[0], qubits[1], qubits[2]));
+            break;
+        }
+    }
+    if (!sawHeader)
+        throw std::invalid_argument("qasm: missing OPENQASM header");
+    if (qreg.empty())
+        throw std::invalid_argument("qasm: missing qreg declaration");
+    return circuit;
+}
+
+}  // namespace geyser

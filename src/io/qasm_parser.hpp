@@ -1,0 +1,30 @@
+/**
+ * @file
+ * OpenQASM 2.0 importer (the subset emitted by common frontends and by
+ * this library's own exporter): one quantum register, the qelib1 gates
+ * this IR supports, and constant-expression parameters (numbers, pi,
+ * + - * /, unary minus, parentheses).
+ *
+ * Together with circuitToQasm() this closes the interop loop: external
+ * circuits can be compiled by the `geyserc` tool and results re-exported.
+ */
+#ifndef GEYSER_IO_QASM_PARSER_HPP
+#define GEYSER_IO_QASM_PARSER_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace geyser {
+
+/**
+ * Parse an OpenQASM 2.0 program into a Circuit. Throws
+ * std::invalid_argument with a line-numbered message on unsupported or
+ * malformed input. `creg` declarations, `measure`, and `barrier` are
+ * accepted and ignored (this IR measures everything at the end).
+ */
+Circuit circuitFromQasm(const std::string &text);
+
+}  // namespace geyser
+
+#endif  // GEYSER_IO_QASM_PARSER_HPP

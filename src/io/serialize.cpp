@@ -1,0 +1,207 @@
+#include "io/serialize.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/schedule.hpp"
+
+namespace geyser {
+
+namespace {
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+Technique
+techniqueFromName(const std::string &name)
+{
+    for (const Technique t :
+         {Technique::Baseline, Technique::OptiMap, Technique::Geyser,
+          Technique::Superconducting}) {
+        if (name == techniqueName(t))
+            return t;
+    }
+    throw std::invalid_argument("unknown technique: " + name);
+}
+
+}  // namespace
+
+std::string
+circuitToText(const Circuit &circuit)
+{
+    std::ostringstream out;
+    out << "qubits " << circuit.numQubits() << "\n";
+    for (const auto &g : circuit.gates()) {
+        out << gateKindName(g.kind());
+        for (int i = 0; i < g.numParams(); ++i)
+            out << " " << formatDouble(g.param(i));
+        for (int i = 0; i < g.numQubits(); ++i)
+            out << " " << g.qubit(i);
+        out << "\n";
+    }
+    return out.str();
+}
+
+Circuit
+circuitFromText(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string tok;
+    int n = 0;
+    if (!(in >> tok) || tok != "qubits" || !(in >> n))
+        throw std::invalid_argument("circuitFromText: missing qubits header");
+    Circuit c(n);
+    while (in >> tok) {
+        const GateKind kind = gateKindFromName(tok);
+        const int np = gateKindParamCount(kind);
+        const int nq = gateKindArity(kind);
+        double params[3] = {0, 0, 0};
+        Qubit qubits[3] = {0, 0, 0};
+        for (int i = 0; i < np; ++i)
+            if (!(in >> params[i]))
+                throw std::invalid_argument("circuitFromText: bad params");
+        for (int i = 0; i < nq; ++i)
+            if (!(in >> qubits[i]))
+                throw std::invalid_argument("circuitFromText: bad qubits");
+        switch (nq) {
+          case 1:
+            c.append(Gate(kind, qubits[0], params[0], params[1], params[2]));
+            break;
+          case 2:
+            c.append(Gate(kind, qubits[0], qubits[1], params[0]));
+            break;
+          default:
+            c.append(Gate(kind, qubits[0], qubits[1], qubits[2]));
+            break;
+        }
+    }
+    return c;
+}
+
+std::string
+circuitToQasm(const Circuit &circuit)
+{
+    std::ostringstream out;
+    out << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+    out << "qreg q[" << circuit.numQubits() << "];\n";
+    for (const auto &g : circuit.gates()) {
+        std::string name = gateKindName(g.kind());
+        // QASM 2 has no native ccz; emit via h-conjugated Toffoli.
+        if (g.kind() == GateKind::CCZ) {
+            out << "h q[" << g.qubit(2) << "];\n";
+            out << "ccx q[" << g.qubit(0) << "],q[" << g.qubit(1) << "],q["
+                << g.qubit(2) << "];\n";
+            out << "h q[" << g.qubit(2) << "];\n";
+            continue;
+        }
+        if (g.kind() == GateKind::P)
+            name = "u1";
+        if (g.kind() == GateKind::CP)
+            name = "cu1";
+        out << name;
+        if (g.numParams() > 0) {
+            out << "(";
+            for (int i = 0; i < g.numParams(); ++i) {
+                out << formatDouble(g.param(i));
+                if (i + 1 < g.numParams())
+                    out << ",";
+            }
+            out << ")";
+        }
+        out << " ";
+        for (int i = 0; i < g.numQubits(); ++i) {
+            out << "q[" << g.qubit(i) << "]";
+            if (i + 1 < g.numQubits())
+                out << ",";
+        }
+        out << ";\n";
+    }
+    return out.str();
+}
+
+void
+saveCompileResult(const std::string &path, const CompileResult &result)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("saveCompileResult: cannot open " + path);
+    out << "geyser-cache-v1\n";
+    out << "technique " << techniqueName(result.technique) << "\n";
+    out << "swaps " << result.swapsInserted << "\n";
+    out << "blocks " << result.blockCount << " " << result.composedBlockCount
+        << "\n";
+    out << "evals " << result.compositionEvaluations << "\n";
+    out << "maxhsd " << formatDouble(result.maxBlockHsd) << "\n";
+    out << "layout";
+    for (const Qubit q : result.finalLayout)
+        out << " " << q;
+    out << "\n";
+    out << "endheader\n";
+    out << circuitToText(result.physical);
+}
+
+std::optional<CompileResult>
+loadCompileResult(const std::string &path, const Circuit &logical)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::string line;
+    if (!std::getline(in, line) || line != "geyser-cache-v1")
+        return std::nullopt;
+
+    CompileResult result;
+    result.logical = logical;
+    try {
+        std::string key;
+        while (in >> key && key != "endheader") {
+            if (key == "technique") {
+                std::string name;
+                in >> name;
+                result.technique = techniqueFromName(name);
+            } else if (key == "swaps") {
+                in >> result.swapsInserted;
+            } else if (key == "blocks") {
+                in >> result.blockCount >> result.composedBlockCount;
+            } else if (key == "evals") {
+                in >> result.compositionEvaluations;
+            } else if (key == "maxhsd") {
+                in >> result.maxBlockHsd;
+            } else if (key == "layout") {
+                std::getline(in, line);
+                std::istringstream ls(line);
+                Qubit q;
+                while (ls >> q)
+                    result.finalLayout.push_back(q);
+            } else {
+                return std::nullopt;
+            }
+        }
+        std::ostringstream rest;
+        rest << in.rdbuf();
+        result.physical = circuitFromText(rest.str());
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+
+    result.topology =
+        result.technique == Technique::Superconducting
+            ? Topology::squareForQubits(logical.numQubits())
+            : Topology::forQubits(logical.numQubits());
+    result.stats = circuitStats(result.physical);
+    if (result.technique == Technique::Superconducting)
+        result.stats.depthPulses = depthPulses(result.physical);
+    else
+        result.stats.depthPulses =
+            depthPulses(result.physical, result.topology);
+    return result;
+}
+
+}  // namespace geyser

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Circuit serialization: a compact text format (round-trippable), an
+ * OpenQASM 2.0 exporter for interoperability, and a small cache for
+ * compiled results so the per-figure bench binaries don't recompile the
+ * same benchmark repeatedly.
+ */
+#ifndef GEYSER_IO_SERIALIZE_HPP
+#define GEYSER_IO_SERIALIZE_HPP
+
+#include <optional>
+#include <string>
+
+#include "geyser/pipeline.hpp"
+
+namespace geyser {
+
+/** Serialize a circuit to the native text format. */
+std::string circuitToText(const Circuit &circuit);
+
+/** Parse the native text format; throws on malformed input. */
+Circuit circuitFromText(const std::string &text);
+
+/** Export to OpenQASM 2.0 (logical gates use their standard mnemonics). */
+std::string circuitToQasm(const Circuit &circuit);
+
+/**
+ * Persist the replayable parts of a CompileResult (physical circuit,
+ * layout, counters). The logical circuit and topology are rebuilt by the
+ * loader from the benchmark spec, so they are not stored.
+ */
+void saveCompileResult(const std::string &path, const CompileResult &result);
+
+/**
+ * Load a cached result; returns std::nullopt if the file is missing or
+ * malformed. `logical` and the topology are filled in from the caller.
+ */
+std::optional<CompileResult> loadCompileResult(const std::string &path,
+                                               const Circuit &logical);
+
+}  // namespace geyser
+
+#endif  // GEYSER_IO_SERIALIZE_HPP

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dense complex matrix used for gate unitaries and small-circuit unitaries.
+ *
+ * Dimensions in this library are small (2x2 for one-qubit gates up to a
+ * few thousand for whole-circuit unitaries of <= ~10 qubits), so a plain
+ * row-major dense representation is the right tool.
+ */
+#ifndef GEYSER_LINALG_MATRIX_HPP
+#define GEYSER_LINALG_MATRIX_HPP
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace geyser {
+
+/**
+ * Row-major dense complex matrix with the operations needed for quantum
+ * circuit manipulation: multiplication, Kronecker product, conjugate
+ * transpose, trace, and unitarity / equivalence checks.
+ */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(int rows, int cols);
+
+    /** Construct from nested initializer lists (row by row). */
+    Matrix(std::initializer_list<std::initializer_list<Complex>> rows);
+
+    /** n x n identity. */
+    static Matrix identity(int n);
+
+    /** Diagonal matrix from the given entries. */
+    static Matrix diagonal(const std::vector<Complex> &entries);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    /** Element access (no bounds check in release builds). */
+    Complex &operator()(int r, int c) { return data_[index(r, c)]; }
+    const Complex &operator()(int r, int c) const { return data_[index(r, c)]; }
+
+    /** Raw storage (row-major). */
+    const std::vector<Complex> &data() const { return data_; }
+    std::vector<Complex> &data() { return data_; }
+
+    Matrix operator*(const Matrix &rhs) const;
+    Matrix operator*(Complex scalar) const;
+    Matrix operator+(const Matrix &rhs) const;
+    Matrix operator-(const Matrix &rhs) const;
+
+    /** Conjugate transpose. */
+    Matrix dagger() const;
+
+    /** Kronecker (tensor) product: this (x) rhs. */
+    Matrix kron(const Matrix &rhs) const;
+
+    /** Sum of diagonal entries. Requires a square matrix. */
+    Complex trace() const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Max |a_ij - b_ij| between two same-shape matrices. */
+    double maxAbsDiff(const Matrix &rhs) const;
+
+    /** True if U U^dagger = I within tol (entrywise). */
+    bool isUnitary(double tol = 1e-9) const;
+
+    /**
+     * True if the two matrices are equal up to a global phase, i.e.
+     * |Tr(A^dagger B)| = dim within tol. Both must be unitary for this
+     * test to be meaningful.
+     */
+    bool equalsUpToPhase(const Matrix &rhs, double tol = 1e-9) const;
+
+    /** Human-readable form for debugging and test failure messages. */
+    std::string toString(int precision = 3) const;
+
+  private:
+    size_t index(int r, int c) const
+    {
+        return static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+               static_cast<size_t>(c);
+    }
+
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<Complex> data_;
+};
+
+/**
+ * Hilbert-Schmidt distance between two same-dimension unitaries:
+ * 1 - |Tr(U1^dagger U2)| / dim. In [0, 1]; 0 means equal up to global
+ * phase. This is the composition metric of the paper (Sec 2.3).
+ */
+double hilbertSchmidtDistance(const Matrix &u1, const Matrix &u2);
+
+}  // namespace geyser
+
+#endif  // GEYSER_LINALG_MATRIX_HPP

@@ -1,0 +1,29 @@
+#include "metrics/fidelity_model.hpp"
+
+#include <cmath>
+
+namespace geyser {
+
+double
+noErrorProbability(const Circuit &circuit, const NoiseModel &noise)
+{
+    // Work in log space: thousands of factors just below 1.
+    double logP = 0.0;
+    for (const auto &g : circuit.gates()) {
+        const double pb = noise.bitFlipFor(g);
+        const double pp = noise.phaseFlipFor(g);
+        const double perQubit = (1.0 - pb) * (1.0 - pp);
+        if (perQubit <= 0.0)
+            return 0.0;
+        logP += g.numQubits() * std::log(perQubit);
+    }
+    return std::exp(logP);
+}
+
+double
+tvdUpperBound(const Circuit &circuit, const NoiseModel &noise)
+{
+    return 1.0 - noErrorProbability(circuit, noise);
+}
+
+}  // namespace geyser

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Analytic fidelity cost model: a closed-form estimate of the success
+ * probability of a circuit under the stochastic Pauli noise model,
+ * usable as a compiler cost function without running any simulation.
+ *
+ * Under independent per-qubit errors, the probability that *no* error
+ * occurs anywhere is prod over gates g, qubits q of
+ * (1 - pb(g))(1 - pp(g)). The no-error trajectory reproduces the ideal
+ * output, so 1 - P(no error) upper-bounds the TVD to the ideal output
+ * (error trajectories can at worst displace all probability mass).
+ * This is why minimizing pulses (with per-pulse error scaling) or
+ * qubit-operations (paper model) directly optimizes fidelity.
+ */
+#ifndef GEYSER_METRICS_FIDELITY_MODEL_HPP
+#define GEYSER_METRICS_FIDELITY_MODEL_HPP
+
+#include "circuit/circuit.hpp"
+#include "sim/noise.hpp"
+
+namespace geyser {
+
+/**
+ * P(no error anywhere) for a physical circuit under `noise`
+ * (bit/phase-flip channels; atom loss and crosstalk are ignored).
+ */
+double noErrorProbability(const Circuit &circuit, const NoiseModel &noise);
+
+/** The model's TVD upper bound: 1 - noErrorProbability(...). */
+double tvdUpperBound(const Circuit &circuit, const NoiseModel &noise);
+
+}  // namespace geyser
+
+#endif  // GEYSER_METRICS_FIDELITY_MODEL_HPP

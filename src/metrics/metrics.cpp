@@ -1,0 +1,34 @@
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/schedule.hpp"
+
+namespace geyser {
+
+double
+totalVariationDistance(const Distribution &p1, const Distribution &p2)
+{
+    if (p1.size() != p2.size())
+        throw std::invalid_argument("TVD: distribution size mismatch");
+    double s = 0.0;
+    for (size_t i = 0; i < p1.size(); ++i)
+        s += std::abs(p1[i] - p2[i]);
+    return 0.5 * s;
+}
+
+CircuitStats
+circuitStats(const Circuit &circuit)
+{
+    CircuitStats stats;
+    stats.numQubits = circuit.numQubits();
+    stats.u3Count = circuit.countKind(GateKind::U3);
+    stats.czCount = circuit.countKind(GateKind::CZ);
+    stats.cczCount = circuit.countKind(GateKind::CCZ);
+    stats.totalPulses = circuit.totalPulses();
+    stats.depthPulses = depthPulses(circuit);
+    return stats;
+}
+
+}  // namespace geyser

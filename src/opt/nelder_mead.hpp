@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Nelder-Mead downhill simplex — the local-search component of the dual
+ * annealing optimizer (paper Sec 3.4 uses scipy's dual annealing, which
+ * pairs a generalized-annealing global phase with local minimization).
+ */
+#ifndef GEYSER_OPT_NELDER_MEAD_HPP
+#define GEYSER_OPT_NELDER_MEAD_HPP
+
+#include "opt/objective.hpp"
+
+namespace geyser {
+
+/** Options for a Nelder-Mead run. */
+struct NelderMeadOptions
+{
+    double initialStep = 0.5;  ///< Simplex edge length around x0.
+    int maxIterations = 2000;
+    double tolerance = 1e-12;  ///< Simplex value-spread stopping threshold.
+};
+
+/** Minimize f starting from x0. */
+OptResult nelderMead(const Objective &f, const std::vector<double> &x0,
+                     const NelderMeadOptions &options = {});
+
+}  // namespace geyser
+
+#endif  // GEYSER_OPT_NELDER_MEAD_HPP

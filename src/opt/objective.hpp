@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared types for the numeric optimizers used in block composition.
+ */
+#ifndef GEYSER_OPT_OBJECTIVE_HPP
+#define GEYSER_OPT_OBJECTIVE_HPP
+
+#include <functional>
+#include <vector>
+
+namespace geyser {
+
+/** A real objective over a real parameter vector. */
+using Objective = std::function<double(const std::vector<double> &)>;
+
+/** Outcome of an optimization run. */
+struct OptResult
+{
+    std::vector<double> x;
+    double value = 0.0;
+    int evaluations = 0;
+};
+
+}  // namespace geyser
+
+#endif  // GEYSER_OPT_OBJECTIVE_HPP

@@ -1,0 +1,106 @@
+#include "pulse/pulse.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace geyser {
+
+const char *
+pulseKindName(PulseKind kind)
+{
+    switch (kind) {
+      case PulseKind::Raman:
+        return "raman";
+      case PulseKind::RydbergPi:
+        return "pi";
+      case PulseKind::Rydberg2Pi:
+        return "2pi";
+    }
+    return "?";
+}
+
+int
+PulseProgram::countKind(PulseKind kind) const
+{
+    int n = 0;
+    for (const auto &p : pulses)
+        if (p.kind == kind)
+            ++n;
+    return n;
+}
+
+std::string
+PulseProgram::toString() const
+{
+    std::string out;
+    char buf[96];
+    for (const auto &p : pulses) {
+        std::snprintf(buf, sizeof(buf), "t=%-6ld %-5s atom %d (gate %d)\n",
+                      p.startTime, pulseKindName(p.kind), p.atom,
+                      p.gateIndex);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "makespan %ld, %zu pulses\n", makespan,
+                  pulses.size());
+    out += buf;
+    return out;
+}
+
+PulseProgram
+lowerToPulses(const Circuit &circuit, const Schedule &schedule)
+{
+    if (schedule.start.size() != circuit.size())
+        throw std::invalid_argument("lowerToPulses: schedule mismatch");
+    PulseProgram program;
+    program.makespan = schedule.makespan;
+    program.pulses.reserve(static_cast<size_t>(circuit.totalPulses()));
+
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gates()[i];
+        const long t0 = schedule.start[i];
+        const int gi = static_cast<int>(i);
+        switch (g.kind()) {
+          case GateKind::U3:
+            program.pulses.push_back(
+                {PulseKind::Raman, g.qubit(0), t0, gi});
+            break;
+          case GateKind::CZ:
+            // Fig 3(a): pi(control), 2pi(target), pi(control).
+            program.pulses.push_back(
+                {PulseKind::RydbergPi, g.qubit(0), t0, gi});
+            program.pulses.push_back(
+                {PulseKind::Rydberg2Pi, g.qubit(1), t0 + 1, gi});
+            program.pulses.push_back(
+                {PulseKind::RydbergPi, g.qubit(0), t0 + 2, gi});
+            break;
+          case GateKind::CCZ:
+            // Fig 3(b): pi(c1), pi(c2), 2pi(target), pi(c2), pi(c1).
+            program.pulses.push_back(
+                {PulseKind::RydbergPi, g.qubit(0), t0, gi});
+            program.pulses.push_back(
+                {PulseKind::RydbergPi, g.qubit(1), t0 + 1, gi});
+            program.pulses.push_back(
+                {PulseKind::Rydberg2Pi, g.qubit(2), t0 + 2, gi});
+            program.pulses.push_back(
+                {PulseKind::RydbergPi, g.qubit(1), t0 + 3, gi});
+            program.pulses.push_back(
+                {PulseKind::RydbergPi, g.qubit(0), t0 + 4, gi});
+            break;
+          default:
+            throw std::invalid_argument(
+                "lowerToPulses: physical circuit required");
+        }
+    }
+    return program;
+}
+
+PulseProgram
+lowerToPulses(const Circuit &circuit)
+{
+    if (!circuit.isPhysical())
+        throw std::invalid_argument(
+            "lowerToPulses: physical circuit required");
+    return lowerToPulses(circuit, scheduleAsap(circuit));
+}
+
+}  // namespace geyser

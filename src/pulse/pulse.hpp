@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Pulse-level lowering — the "classical control interface" layer of the
+ * paper's Fig 2 stack. Expands a physical circuit into the individual
+ * laser pulses of Fig 3:
+ *
+ *  - U3: one Raman pulse on its atom.
+ *  - CZ: pi (control), 2*pi (target), pi (control) — three serial
+ *    Rydberg pulses.
+ *  - CCZ: pi (c1), pi (c2), 2*pi (target), pi (c2), pi (c1) — five
+ *    serial Rydberg pulses. The composer's categorical parameter picks
+ *    which atom plays the 2*pi target role; the unitary is invariant.
+ *
+ * Pulses inherit start times from a gate schedule, so the program's
+ * makespan equals the schedule's depth-pulse metric.
+ */
+#ifndef GEYSER_PULSE_PULSE_HPP
+#define GEYSER_PULSE_PULSE_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit/schedule.hpp"
+
+namespace geyser {
+
+/** The physical pulse types of the neutral-atom control stack. */
+enum class PulseKind : uint8_t {
+    Raman,      ///< One-qubit U3 drive.
+    RydbergPi,  ///< pi pulse toward the Rydberg state (control role).
+    Rydberg2Pi, ///< 2*pi pulse (target role).
+};
+
+/** Mnemonic for a pulse kind. */
+const char *pulseKindName(PulseKind kind);
+
+/** One laser pulse aimed at one atom. */
+struct Pulse
+{
+    PulseKind kind = PulseKind::Raman;
+    int atom = 0;
+    long startTime = 0;  ///< In pulse-duration units.
+    int gateIndex = -1;  ///< Index of the originating gate.
+};
+
+/** A fully lowered pulse program. */
+struct PulseProgram
+{
+    std::vector<Pulse> pulses;
+    long makespan = 0;
+
+    int countKind(PulseKind kind) const;
+
+    /** Human-readable listing (one pulse per line). */
+    std::string toString() const;
+};
+
+/**
+ * Lower a physical circuit to pulses using the given gate schedule
+ * (scheduleAsap / scheduleRestrictionAware output for this circuit).
+ * The total pulse count always equals circuit.totalPulses().
+ */
+PulseProgram lowerToPulses(const Circuit &circuit, const Schedule &schedule);
+
+/** Convenience: lower with an ASAP schedule. */
+PulseProgram lowerToPulses(const Circuit &circuit);
+
+}  // namespace geyser
+
+#endif  // GEYSER_PULSE_PULSE_HPP

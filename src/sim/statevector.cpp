@@ -1,0 +1,195 @@
+#include "sim/statevector.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace geyser {
+
+StateVector::StateVector(int num_qubits)
+    : StateVector(num_qubits, 0)
+{
+}
+
+StateVector::StateVector(int num_qubits, size_t basis_index)
+    : numQubits_(num_qubits), amps_(size_t{1} << num_qubits)
+{
+    if (num_qubits < 0 || num_qubits > 28)
+        throw std::invalid_argument("StateVector: unsupported qubit count");
+    if (basis_index >= amps_.size())
+        throw std::out_of_range("StateVector: basis index out of range");
+    amps_[basis_index] = 1.0;
+}
+
+void
+StateVector::apply(const Gate &gate)
+{
+    // Fast paths for the common physical gates.
+    switch (gate.kind()) {
+      case GateKind::X:
+        applyX(gate.qubit(0));
+        return;
+      case GateKind::Z:
+        applyZ(gate.qubit(0));
+        return;
+      case GateKind::Y:
+        applyY(gate.qubit(0));
+        return;
+      case GateKind::CZ: {
+        const size_t ma = size_t{1} << gate.qubit(0);
+        const size_t mb = size_t{1} << gate.qubit(1);
+        for (size_t i = 0; i < amps_.size(); ++i)
+            if ((i & ma) && (i & mb))
+                amps_[i] = -amps_[i];
+        return;
+      }
+      case GateKind::CCZ: {
+        const size_t m = (size_t{1} << gate.qubit(0)) |
+                         (size_t{1} << gate.qubit(1)) |
+                         (size_t{1} << gate.qubit(2));
+        for (size_t i = 0; i < amps_.size(); ++i)
+            if ((i & m) == m)
+                amps_[i] = -amps_[i];
+        return;
+      }
+      default:
+        break;
+    }
+    std::vector<Qubit> qs;
+    qs.reserve(static_cast<size_t>(gate.numQubits()));
+    for (int i = 0; i < gate.numQubits(); ++i)
+        qs.push_back(gate.qubit(i));
+    applyMatrix(gate.matrix(), qs);
+}
+
+void
+StateVector::apply(const Circuit &circuit)
+{
+    if (circuit.numQubits() > numQubits_)
+        throw std::invalid_argument("StateVector::apply: circuit too wide");
+    for (const auto &g : circuit.gates())
+        apply(g);
+}
+
+void
+StateVector::applyMatrix(const Matrix &m, const std::vector<Qubit> &qubits)
+{
+    const int k = static_cast<int>(qubits.size());
+    const size_t sub = size_t{1} << k;
+    if (m.rows() != static_cast<int>(sub) || m.cols() != static_cast<int>(sub))
+        throw std::invalid_argument("applyMatrix: matrix/qubit mismatch");
+
+    // Masks of the target qubits, and the mask of all of them.
+    size_t qmask = 0;
+    for (Qubit q : qubits) {
+        assert(q >= 0 && q < numQubits_);
+        qmask |= size_t{1} << q;
+    }
+
+    Complex local[8], out[8];
+    const size_t outer = amps_.size() >> k;
+    for (size_t o = 0; o < outer; ++o) {
+        // Scatter the outer index bits into the non-target positions.
+        size_t base = 0;
+        size_t rem = o;
+        for (int bit = 0; bit < numQubits_; ++bit) {
+            const size_t bmask = size_t{1} << bit;
+            if (qmask & bmask)
+                continue;
+            if (rem & 1)
+                base |= bmask;
+            rem >>= 1;
+        }
+        // Gather the 2^k amplitudes of this subspace.
+        for (size_t v = 0; v < sub; ++v) {
+            size_t idx = base;
+            for (int b = 0; b < k; ++b)
+                if (v & (size_t{1} << b))
+                    idx |= size_t{1} << qubits[static_cast<size_t>(b)];
+            local[v] = amps_[idx];
+        }
+        for (size_t r = 0; r < sub; ++r) {
+            Complex acc{};
+            for (size_t c = 0; c < sub; ++c)
+                acc += m(static_cast<int>(r), static_cast<int>(c)) * local[c];
+            out[r] = acc;
+        }
+        for (size_t v = 0; v < sub; ++v) {
+            size_t idx = base;
+            for (int b = 0; b < k; ++b)
+                if (v & (size_t{1} << b))
+                    idx |= size_t{1} << qubits[static_cast<size_t>(b)];
+            amps_[idx] = out[v];
+        }
+    }
+}
+
+void
+StateVector::applyX(Qubit q)
+{
+    const size_t mask = size_t{1} << q;
+    for (size_t i = 0; i < amps_.size(); ++i)
+        if (!(i & mask))
+            std::swap(amps_[i], amps_[i | mask]);
+}
+
+void
+StateVector::applyZ(Qubit q)
+{
+    const size_t mask = size_t{1} << q;
+    for (size_t i = 0; i < amps_.size(); ++i)
+        if (i & mask)
+            amps_[i] = -amps_[i];
+}
+
+void
+StateVector::applyY(Qubit q)
+{
+    const size_t mask = size_t{1} << q;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        if (!(i & mask)) {
+            const Complex a0 = amps_[i];
+            const Complex a1 = amps_[i | mask];
+            amps_[i] = -kI * a1;
+            amps_[i | mask] = kI * a0;
+        }
+    }
+}
+
+Distribution
+StateVector::probabilities() const
+{
+    Distribution p(amps_.size());
+    for (size_t i = 0; i < amps_.size(); ++i)
+        p[i] = std::norm(amps_[i]);
+    return p;
+}
+
+Complex
+StateVector::innerProduct(const StateVector &other) const
+{
+    if (dim() != other.dim())
+        throw std::invalid_argument("innerProduct: dimension mismatch");
+    Complex acc{};
+    for (size_t i = 0; i < amps_.size(); ++i)
+        acc += std::conj(amps_[i]) * other.amps_[i];
+    return acc;
+}
+
+double
+StateVector::normSquared() const
+{
+    double s = 0.0;
+    for (const auto &a : amps_)
+        s += std::norm(a);
+    return s;
+}
+
+Distribution
+idealDistribution(const Circuit &circuit)
+{
+    StateVector sv(circuit.numQubits());
+    sv.apply(circuit);
+    return sv.probabilities();
+}
+
+}  // namespace geyser

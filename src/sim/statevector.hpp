@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dense statevector simulator: exact ideal-output computation for the
+ * TVD evaluation and the engine behind the unitary builder and the noisy
+ * trajectory simulator.
+ */
+#ifndef GEYSER_SIM_STATEVECTOR_HPP
+#define GEYSER_SIM_STATEVECTOR_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace geyser {
+
+/**
+ * State of an n-qubit register. Basis index bit k is the value of qubit
+ * k (qubit 0 = least-significant bit).
+ */
+class StateVector
+{
+  public:
+    /** |0...0> over n qubits. */
+    explicit StateVector(int num_qubits);
+
+    /** Basis state |index> over n qubits. */
+    StateVector(int num_qubits, size_t basis_index);
+
+    int numQubits() const { return numQubits_; }
+    size_t dim() const { return amps_.size(); }
+
+    const std::vector<Complex> &amplitudes() const { return amps_; }
+    std::vector<Complex> &amplitudes() { return amps_; }
+
+    /** Apply an arbitrary gate (logical or physical, 1-3 qubits). */
+    void apply(const Gate &gate);
+
+    /** Apply every gate of a circuit in order. */
+    void apply(const Circuit &circuit);
+
+    /**
+     * Apply a k-qubit matrix to the given qubits; qubits[0] is the local
+     * least-significant bit. The matrix must be 2^k x 2^k.
+     */
+    void applyMatrix(const Matrix &m, const std::vector<Qubit> &qubits);
+
+    /** Fast Pauli-X on one qubit (used by the noise trajectory sim). */
+    void applyX(Qubit q);
+
+    /** Fast Pauli-Z on one qubit. */
+    void applyZ(Qubit q);
+
+    /** Fast Pauli-Y on one qubit. */
+    void applyY(Qubit q);
+
+    /** |amplitude|^2 per basis state. */
+    Distribution probabilities() const;
+
+    /** Inner product <this|other>. */
+    Complex innerProduct(const StateVector &other) const;
+
+    /** Sum of |amplitude|^2 (should be 1 for a valid state). */
+    double normSquared() const;
+
+  private:
+    int numQubits_ = 0;
+    std::vector<Complex> amps_;
+};
+
+/** Ideal output distribution of a circuit started from |0...0>. */
+Distribution idealDistribution(const Circuit &circuit);
+
+}  // namespace geyser
+
+#endif  // GEYSER_SIM_STATEVECTOR_HPP

@@ -1,0 +1,131 @@
+#include "sim/trajectory.hpp"
+
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+#include "metrics/metrics.hpp"
+
+namespace geyser {
+
+namespace {
+
+void
+accumulateTrajectory(const Circuit &circuit, const NoiseModel &noise,
+                     const std::vector<std::vector<int>> &zones,
+                     uint64_t seed, Distribution &acc)
+{
+    Rng rng(seed);
+    // Sample which atoms are lost for this shot (paper Sec 6): gates on
+    // a lost atom do not fire and its readout is depolarized.
+    std::vector<bool> lost;
+    bool anyLost = false;
+    if (noise.atomLoss > 0.0) {
+        lost.assign(static_cast<size_t>(circuit.numQubits()), false);
+        for (Qubit q = 0; q < circuit.numQubits(); ++q) {
+            if (rng.bernoulli(noise.atomLoss)) {
+                lost[static_cast<size_t>(q)] = true;
+                anyLost = true;
+            }
+        }
+    }
+
+    StateVector sv(circuit.numQubits());
+    for (size_t gi = 0; gi < circuit.size(); ++gi) {
+        const Gate &g = circuit.gates()[gi];
+        if (anyLost) {
+            bool involvesLost = false;
+            for (int i = 0; i < g.numQubits(); ++i)
+                if (lost[static_cast<size_t>(g.qubit(i))])
+                    involvesLost = true;
+            if (involvesLost)
+                continue;
+        }
+        applyNoisyGate(sv, g, noise, rng);
+        // Rydberg crosstalk: spectator atoms in the restriction zone
+        // pick up phase errors while the multi-qubit gate runs.
+        if (!zones.empty() && g.numQubits() >= 2) {
+            for (const int z : zones[gi])
+                if (rng.bernoulli(noise.crosstalkPhase))
+                    sv.applyZ(z);
+        }
+    }
+    auto p = sv.probabilities();
+    if (anyLost) {
+        // Depolarized readout: average each lost qubit over both values.
+        for (Qubit q = 0; q < circuit.numQubits(); ++q) {
+            if (!lost[static_cast<size_t>(q)])
+                continue;
+            const size_t mask = size_t{1} << q;
+            for (size_t i = 0; i < p.size(); ++i) {
+                if (!(i & mask)) {
+                    const double avg = 0.5 * (p[i] + p[i | mask]);
+                    p[i] = p[i | mask] = avg;
+                }
+            }
+        }
+    }
+    for (size_t i = 0; i < p.size(); ++i)
+        acc[i] += p[i];
+}
+
+}  // namespace
+
+Distribution
+noisyDistribution(const Circuit &circuit, const NoiseModel &noise,
+                  const TrajectoryConfig &config)
+{
+    const size_t dim = size_t{1} << circuit.numQubits();
+    if (noise.isNoiseless())
+        return idealDistribution(circuit);
+
+    const int traj = std::max(1, config.trajectories);
+    // Precompute restriction zones once when crosstalk is enabled.
+    std::vector<std::vector<int>> zones;
+    if (noise.crosstalkPhase > 0.0 && config.topology != nullptr) {
+        zones.resize(circuit.size());
+        for (size_t gi = 0; gi < circuit.size(); ++gi) {
+            const Gate &g = circuit.gates()[gi];
+            if (g.numQubits() < 2)
+                continue;
+            std::vector<int> involved;
+            for (int i = 0; i < g.numQubits(); ++i)
+                involved.push_back(g.qubit(i));
+            zones[gi] = config.topology->restrictionZone(involved);
+        }
+    }
+    Distribution total(dim, 0.0);
+    if (config.parallel && traj > 1) {
+        auto &pool = globalPool();
+        const int workers = pool.size();
+        std::vector<Distribution> partial(
+            static_cast<size_t>(workers), Distribution(dim, 0.0));
+        pool.parallelFor(workers, [&](int w) {
+            for (int t = w; t < traj; t += workers)
+                accumulateTrajectory(circuit, noise, zones,
+                                     config.seed + static_cast<uint64_t>(t),
+                                     partial[static_cast<size_t>(w)]);
+        });
+        for (const auto &p : partial)
+            for (size_t i = 0; i < dim; ++i)
+                total[i] += p[i];
+    } else {
+        for (int t = 0; t < traj; ++t)
+            accumulateTrajectory(circuit, noise, zones,
+                                 config.seed + static_cast<uint64_t>(t),
+                                 total);
+    }
+    for (auto &v : total)
+        v /= traj;
+    return total;
+}
+
+double
+noisyTvd(const Circuit &circuit, const Circuit &reference,
+         const NoiseModel &noise, const TrajectoryConfig &config)
+{
+    const auto ideal = idealDistribution(reference);
+    const auto noisy = noisyDistribution(circuit, noise, config);
+    return totalVariationDistance(ideal, noisy);
+}
+
+}  // namespace geyser

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Monte-Carlo Pauli-trajectory simulator: the stand-in for the paper's
+ * IBMQ QASM noisy simulation. Each trajectory executes the circuit with
+ * stochastic bit/phase flips; the full probability vectors of the
+ * trajectories are averaged (much lower variance than sampling shots),
+ * which converges to the exact output of the Pauli channel.
+ */
+#ifndef GEYSER_SIM_TRAJECTORY_HPP
+#define GEYSER_SIM_TRAJECTORY_HPP
+
+#include "circuit/circuit.hpp"
+#include "common/types.hpp"
+#include "sim/noise.hpp"
+#include "topology/topology.hpp"
+
+namespace geyser {
+
+/** Configuration for a noisy-output estimate. */
+struct TrajectoryConfig
+{
+    int trajectories = 200;
+    uint64_t seed = 1234;
+    /** Use the global thread pool to run trajectories in parallel. */
+    bool parallel = true;
+    /**
+     * Atom arrangement, needed only when the noise model enables
+     * Rydberg crosstalk (restriction zones depend on positions). Must
+     * outlive the simulation call.
+     */
+    const Topology *topology = nullptr;
+};
+
+/**
+ * Average output distribution of `circuit` under `noise`. The circuit
+ * must be physical (pulse counts defined) when noise.perPulse is set;
+ * otherwise logical gates are accepted too.
+ */
+Distribution noisyDistribution(const Circuit &circuit,
+                               const NoiseModel &noise,
+                               const TrajectoryConfig &config = {});
+
+/**
+ * TVD of the noisy output of `circuit` against the ideal output of
+ * `reference` (paper Fig 15-18 metric; `reference` is the original
+ * logical circuit, `circuit` the compiled one).
+ */
+double noisyTvd(const Circuit &circuit, const Circuit &reference,
+                const NoiseModel &noise, const TrajectoryConfig &config = {});
+
+}  // namespace geyser
+
+#endif  // GEYSER_SIM_TRAJECTORY_HPP

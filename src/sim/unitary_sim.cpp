@@ -1,0 +1,34 @@
+#include "sim/unitary_sim.hpp"
+
+#include <stdexcept>
+
+#include "sim/statevector.hpp"
+
+namespace geyser {
+
+Matrix
+circuitUnitary(const Circuit &circuit)
+{
+    const int n = circuit.numQubits();
+    if (n > 14)
+        throw std::invalid_argument("circuitUnitary: circuit too wide");
+    const size_t dim = size_t{1} << n;
+    Matrix u(static_cast<int>(dim), static_cast<int>(dim));
+    for (size_t j = 0; j < dim; ++j) {
+        StateVector sv(n, j);
+        sv.apply(circuit);
+        for (size_t i = 0; i < dim; ++i)
+            u(static_cast<int>(i), static_cast<int>(j)) = sv.amplitudes()[i];
+    }
+    return u;
+}
+
+double
+circuitHsd(const Circuit &a, const Circuit &b)
+{
+    if (a.numQubits() != b.numQubits())
+        throw std::invalid_argument("circuitHsd: width mismatch");
+    return hilbertSchmidtDistance(circuitUnitary(a), circuitUnitary(b));
+}
+
+}  // namespace geyser

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Exact unitary construction for small circuits — the engine behind the
+ * Hilbert-Schmidt distance computations in block composition (the role
+ * qiskit-aer's unitary simulator plays in the paper).
+ */
+#ifndef GEYSER_SIM_UNITARY_SIM_HPP
+#define GEYSER_SIM_UNITARY_SIM_HPP
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace geyser {
+
+/**
+ * The 2^n x 2^n unitary of a circuit (column j = circuit applied to basis
+ * state |j>). Practical for n <= ~12.
+ */
+Matrix circuitUnitary(const Circuit &circuit);
+
+/**
+ * Hilbert-Schmidt distance between the unitaries of two same-width
+ * circuits (paper Sec 2.3).
+ */
+double circuitHsd(const Circuit &a, const Circuit &b);
+
+}  // namespace geyser
+
+#endif  // GEYSER_SIM_UNITARY_SIM_HPP

@@ -1,0 +1,84 @@
+#include "topology/rearrange.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace geyser {
+
+namespace {
+
+double
+euclid(const Position &a, const Position &b)
+{
+    const double dx = a.x - b.x, dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+RearrangementPlan
+planRearrangement(const Topology &topo, const std::vector<int> &vacancies,
+                  const std::vector<int> &spares)
+{
+    for (const int v : vacancies)
+        if (v < 0 || v >= topo.numAtoms())
+            throw std::invalid_argument("planRearrangement: bad vacancy");
+    for (const int s : spares)
+        if (s < 0 || s >= topo.numAtoms())
+            throw std::invalid_argument("planRearrangement: bad spare");
+
+    RearrangementPlan plan;
+    std::vector<bool> used(spares.size(), false);
+
+    // Greedy globally-nearest pairing: repeatedly take the closest
+    // (vacancy, free spare) pair. Deterministic (ties by index).
+    std::vector<bool> filled(vacancies.size(), false);
+    for (size_t round = 0; round < vacancies.size(); ++round) {
+        double bestDist = 0.0;
+        int bestVacancy = -1;
+        int bestSpare = -1;
+        for (size_t vi = 0; vi < vacancies.size(); ++vi) {
+            if (filled[vi])
+                continue;
+            for (size_t si = 0; si < spares.size(); ++si) {
+                if (used[si])
+                    continue;
+                const double d =
+                    euclid(topo.position(vacancies[vi]),
+                           topo.position(spares[si]));
+                if (bestVacancy < 0 || d < bestDist) {
+                    bestDist = d;
+                    bestVacancy = static_cast<int>(vi);
+                    bestSpare = static_cast<int>(si);
+                }
+            }
+        }
+        if (bestVacancy < 0) {
+            plan.complete = false;  // Ran out of spares.
+            break;
+        }
+        filled[static_cast<size_t>(bestVacancy)] = true;
+        used[static_cast<size_t>(bestSpare)] = true;
+        plan.moves.push_back(
+            {spares[static_cast<size_t>(bestSpare)],
+             vacancies[static_cast<size_t>(bestVacancy)], bestDist});
+        plan.totalDistance += bestDist;
+        plan.cycleTime += 2.0 + bestDist;  // take + travel + release.
+    }
+    return plan;
+}
+
+RearrangementPlan
+planRefill(const Topology &topo, int computational,
+           const std::vector<int> &lost)
+{
+    if (computational > topo.numAtoms())
+        throw std::invalid_argument("planRefill: register exceeds lattice");
+    std::vector<int> spares;
+    for (int a = computational; a < topo.numAtoms(); ++a)
+        spares.push_back(a);
+    return planRearrangement(topo, lost, spares);
+}
+
+}  // namespace geyser

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Optical-tweezer rearrangement planning (paper Sec 6): lost atoms are
+ * replaced between shots by shuttling spare atoms into the vacated
+ * sites with a take -> transfer -> release cycle. This module plans the
+ * moves: which spare goes to which vacancy, in what order, and what the
+ * cycle costs in tweezer time.
+ *
+ * The planner works on any Topology: `computational` marks the sites
+ * that must be occupied (the register); every other site of the lattice
+ * may hold a spare atom.
+ */
+#ifndef GEYSER_TOPOLOGY_REARRANGE_HPP
+#define GEYSER_TOPOLOGY_REARRANGE_HPP
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace geyser {
+
+/** One tweezer move: pick an atom up at `from`, release it at `to`. */
+struct TweezerMove
+{
+    int from = 0;
+    int to = 0;
+    double distance = 0.0;  ///< Euclidean travel distance (lattice units).
+};
+
+/** A full refill plan. */
+struct RearrangementPlan
+{
+    std::vector<TweezerMove> moves;
+    double totalDistance = 0.0;
+    /**
+     * Cycle time in take/transfer/release units: each move costs
+     * 2 (take + release) plus its travel distance.
+     */
+    double cycleTime = 0.0;
+    /** True if every vacancy could be refilled from the spares. */
+    bool complete = true;
+};
+
+/**
+ * Plan the refill of `vacancies` (computational sites that lost their
+ * atom) from `spares` (occupied non-computational sites). Assignment is
+ * greedy nearest-spare-first (optimal for the small vacancy counts that
+ * realistic loss rates produce); each spare is used at most once.
+ */
+RearrangementPlan planRearrangement(const Topology &topo,
+                                    const std::vector<int> &vacancies,
+                                    const std::vector<int> &spares);
+
+/**
+ * Convenience for the common setup: an (rows+spare_rows) x cols lattice
+ * whose first `computational` sites form the register and whose
+ * remaining sites all hold spares. Returns the plan for the given lost
+ * register sites.
+ */
+RearrangementPlan planRefill(const Topology &topo, int computational,
+                             const std::vector<int> &lost);
+
+}  // namespace geyser
+
+#endif  // GEYSER_TOPOLOGY_REARRANGE_HPP

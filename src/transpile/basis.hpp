@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Basis translation: lower logical gates to the neutral-atom physical
+ * basis {U3, CZ} (paper Sec 3.2 — the mapper is given basis gates
+ * {U3, CZ}; CCZ gates are only ever *introduced* later by Geyser's
+ * composition step, so lowering never emits them).
+ */
+#ifndef GEYSER_TRANSPILE_BASIS_HPP
+#define GEYSER_TRANSPILE_BASIS_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace geyser {
+
+/**
+ * Lower every gate of `circuit` to {U3, CZ}. Multi-qubit logical gates
+ * expand through their textbook CX/CZ decompositions (e.g. a Toffoli
+ * becomes 6 CX-derived CZ plus one-qubit gates — the 26-pulse pattern of
+ * paper Fig 11 once fused); one-qubit gates become a single U3. No
+ * optimization is performed (that is OptiMap's job).
+ */
+Circuit decomposeToBasis(const Circuit &circuit);
+
+/** Append the lowering of a single gate to `out`. */
+void lowerGate(const Gate &gate, Circuit &out);
+
+/** The U3 angles of a one-qubit logical gate. */
+Gate u3FromGate(const Gate &gate);
+
+}  // namespace geyser
+
+#endif  // GEYSER_TRANSPILE_BASIS_HPP

@@ -1,0 +1,139 @@
+#include "transpile/passes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "transpile/zyz.hpp"
+
+namespace geyser {
+
+namespace {
+
+/** True if a physical gate is diagonal in the computational basis. */
+bool
+gateIsDiagonal(const Gate &g)
+{
+    if (g.kind() == GateKind::CZ || g.kind() == GateKind::CCZ)
+        return true;
+    if (g.kind() == GateKind::U3) {
+        // U3 is diagonal iff theta = 0 mod 2*pi.
+        const double c = std::cos(g.param(0) / 2.0);
+        return std::abs(std::abs(c) - 1.0) < 1e-12;
+    }
+    return false;
+}
+
+}  // namespace
+
+bool
+fuseU3Pass(Circuit &circuit, bool drop_identity)
+{
+    if (!circuit.isPhysical())
+        throw std::invalid_argument("fuseU3Pass: physical circuit required");
+
+    const size_t before = circuit.size();
+    Circuit out(circuit.numQubits());
+
+    // Pending accumulated 2x2 unitary per qubit (empty = identity).
+    std::vector<Matrix> pending(static_cast<size_t>(circuit.numQubits()));
+    std::vector<bool> hasPending(static_cast<size_t>(circuit.numQubits()),
+                                 false);
+    int fusedRuns = 0;
+
+    auto flush = [&](Qubit q) {
+        if (!hasPending[static_cast<size_t>(q)])
+            return;
+        auto &m = pending[static_cast<size_t>(q)];
+        if (!(drop_identity && isIdentityUpToPhase(m))) {
+            const U3Params p = u3FromMatrix(m);
+            out.u3(q, p.theta, p.phi, p.lambda);
+        }
+        hasPending[static_cast<size_t>(q)] = false;
+    };
+
+    for (const auto &g : circuit.gates()) {
+        if (g.numQubits() == 1) {
+            const Qubit q = g.qubit(0);
+            if (hasPending[static_cast<size_t>(q)]) {
+                // Later gate acts after: left-multiply.
+                pending[static_cast<size_t>(q)] =
+                    g.matrix() * pending[static_cast<size_t>(q)];
+                ++fusedRuns;
+            } else {
+                pending[static_cast<size_t>(q)] = g.matrix();
+                hasPending[static_cast<size_t>(q)] = true;
+            }
+        } else {
+            for (int i = 0; i < g.numQubits(); ++i)
+                flush(g.qubit(i));
+            out.append(g);
+        }
+    }
+    for (Qubit q = 0; q < circuit.numQubits(); ++q)
+        flush(q);
+
+    const bool changed = fusedRuns > 0 || out.size() != before;
+    if (changed)
+        circuit = std::move(out);
+    return changed;
+}
+
+bool
+cancelCzPass(Circuit &circuit)
+{
+    auto &gates = circuit.gates();
+    std::vector<bool> removed(gates.size(), false);
+    bool changed = false;
+
+    for (size_t i = 0; i < gates.size(); ++i) {
+        if (removed[i] || gates[i].kind() != GateKind::CZ)
+            continue;
+        const Qubit a = gates[i].qubit(0);
+        const Qubit b = gates[i].qubit(1);
+        // Scan forward through the diagonal subcircuit: every diagonal
+        // gate commutes with CZ(a, b), so a later equal CZ cancels it.
+        for (size_t j = i + 1; j < gates.size(); ++j) {
+            if (removed[j])
+                continue;
+            const Gate &h = gates[j];
+            const bool touches = h.actsOn(a) || h.actsOn(b);
+            if (h.kind() == GateKind::CZ && touches) {
+                const bool samePair =
+                    (h.qubit(0) == a && h.qubit(1) == b) ||
+                    (h.qubit(0) == b && h.qubit(1) == a);
+                if (samePair) {
+                    removed[i] = removed[j] = true;
+                    changed = true;
+                    break;
+                }
+            }
+            if (!touches)
+                continue;
+            if (!gateIsDiagonal(h))
+                break;  // Non-commuting gate between the pair.
+        }
+    }
+
+    if (changed) {
+        Circuit out(circuit.numQubits());
+        for (size_t i = 0; i < gates.size(); ++i)
+            if (!removed[i])
+                out.append(gates[i]);
+        circuit = std::move(out);
+    }
+    return changed;
+}
+
+void
+optimize(Circuit &circuit)
+{
+    constexpr int kMaxRounds = 20;
+    for (int round = 0; round < kMaxRounds; ++round) {
+        bool changed = fuseU3Pass(circuit, true);
+        changed = cancelCzPass(circuit) || changed;
+        if (!changed)
+            break;
+    }
+}
+
+}  // namespace geyser

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Benchmark-generator tests: functional correctness of the arithmetic
+ * circuits (adders add, multipliers multiply, QFT matches the DFT) and
+ * structural properties of the variational / random / Trotter circuits.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/algos.hpp"
+#include "algos/suite.hpp"
+#include "sim/statevector.hpp"
+#include "sim/unitary_sim.hpp"
+
+namespace geyser {
+namespace {
+
+/** Run a circuit on basis-state input and return the basis output. */
+size_t
+basisOutput(const Circuit &core, size_t input)
+{
+    StateVector sv(core.numQubits(), input);
+    sv.apply(core);
+    const auto p = sv.probabilities();
+    size_t best = 0;
+    for (size_t i = 1; i < p.size(); ++i)
+        if (p[i] > p[best])
+            best = i;
+    EXPECT_NEAR(p[best], 1.0, 1e-9) << "output is not a basis state";
+    return best;
+}
+
+/** Parameterized over (a, b, bits, carry_in): adder must compute a+b. */
+class AdderSweep : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(AdderSweep, ComputesSum)
+{
+    const auto [a, b, bits] = GetParam();
+    const Circuit core = cuccaroAdderCore(bits, true);
+    // Input layout: cin = qubit 0, b_i = 2i+1, a_i = 2i+2.
+    size_t input = 0;
+    for (int i = 0; i < bits; ++i) {
+        if ((b >> i) & 1)
+            input |= size_t{1} << (2 * i + 1);
+        if ((a >> i) & 1)
+            input |= size_t{1} << (2 * i + 2);
+    }
+    const size_t output = basisOutput(core, input);
+    // Decode: sum bits land in the b register, carry in the top qubit.
+    int sum = 0;
+    for (int i = 0; i < bits; ++i)
+        if (output & (size_t{1} << (2 * i + 1)))
+            sum |= 1 << i;
+    if (output & (size_t{1} << (2 * bits + 1)))
+        sum |= 1 << bits;
+    EXPECT_EQ(sum, a + b) << "a=" << a << " b=" << b;
+    // The a register must be restored.
+    int aOut = 0;
+    for (int i = 0; i < bits; ++i)
+        if (output & (size_t{1} << (2 * i + 2)))
+            aOut |= 1 << i;
+    EXPECT_EQ(aOut, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoBit, AdderSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3), ::testing::Values(2)));
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreeBit, AdderSweep,
+    ::testing::Combine(::testing::Values(0, 3, 5, 7),
+                       ::testing::Values(1, 4, 6), ::testing::Values(3)));
+
+TEST(Adder, ModularVariantDropsCarry)
+{
+    // 4-bit adder without carry out: 9 + 8 = 17 = 1 (mod 16).
+    const Circuit core = cuccaroAdderCore(4, false);
+    EXPECT_EQ(core.numQubits(), 9);
+    size_t input = 0;
+    const int a = 9, b = 8;
+    for (int i = 0; i < 4; ++i) {
+        if ((b >> i) & 1)
+            input |= size_t{1} << (2 * i + 1);
+        if ((a >> i) & 1)
+            input |= size_t{1} << (2 * i + 2);
+    }
+    const size_t output = basisOutput(core, input);
+    int sum = 0;
+    for (int i = 0; i < 4; ++i)
+        if (output & (size_t{1} << (2 * i + 1)))
+            sum |= 1 << i;
+    EXPECT_EQ(sum, (a + b) % 16);
+}
+
+TEST(Adder, BenchmarkWidthsMatchTable1)
+{
+    EXPECT_EQ(adderBenchmark(1, true).numQubits(), 4);
+    EXPECT_EQ(adderBenchmark(4, false).numQubits(), 9);
+}
+
+TEST(Multiplier, ToffoliCoreComputesProducts)
+{
+    // 1x2-bit: p = a * b for all inputs.
+    const Circuit core = toffoliMultiplierCore(2);
+    ASSERT_EQ(core.numQubits(), 5);
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 4; ++b) {
+            size_t input = static_cast<size_t>(a) |
+                           (static_cast<size_t>(b) << 1);
+            const size_t output = basisOutput(core, input);
+            const int p = static_cast<int>(output >> 3);
+            EXPECT_EQ(p, a * b) << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(Multiplier, QftCoreComputesProducts)
+{
+    // 2x3-bit Draper multiplier: exhaustive check over all inputs.
+    const Circuit core = qftMultiplierCore(2, 3);
+    ASSERT_EQ(core.numQubits(), 10);
+    for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 8; ++b) {
+            size_t input = static_cast<size_t>(a) |
+                           (static_cast<size_t>(b) << 2);
+            const size_t output = basisOutput(core, input);
+            const int p = static_cast<int>(output >> 5);
+            EXPECT_EQ(p, a * b) << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(Qft, MatchesDftMatrix)
+{
+    // QFT|x> = (1/sqrt(N)) sum_y exp(2 pi i x y / N) |y>.
+    for (const int n : {2, 3, 4}) {
+        const Circuit qft = qftCore(n, true);
+        const Matrix u = circuitUnitary(qft);
+        const int dim = 1 << n;
+        const double norm = 1.0 / std::sqrt(static_cast<double>(dim));
+        Matrix dft(dim, dim);
+        for (int x = 0; x < dim; ++x)
+            for (int y = 0; y < dim; ++y)
+                dft(y, x) = norm * std::exp(kI * (2.0 * kPi * x * y / dim));
+        EXPECT_LT(u.maxAbsDiff(dft), 1e-9) << "n=" << n;
+    }
+}
+
+TEST(Qft, NoSwapVariantIsBitReversed)
+{
+    const Circuit withSwaps = qftCore(3, true);
+    const Circuit noSwaps = qftCore(3, false);
+    EXPECT_EQ(withSwaps.countKind(GateKind::SWAP), 1);
+    EXPECT_EQ(noSwaps.countKind(GateKind::SWAP), 0);
+    EXPECT_GT(circuitHsd(withSwaps, noSwaps), 0.01);
+}
+
+bool
+sameGates(const Circuit &a, const Circuit &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (!(a.gates()[i] == b.gates()[i]))
+            return false;
+    return true;
+}
+
+TEST(Vqe, StructureAndDeterminism)
+{
+    const Circuit a = vqeBenchmark(4, 20, 11);
+    EXPECT_EQ(a.countKind(GateKind::CX), 20 * 3);
+    EXPECT_EQ(a.countKind(GateKind::RY), 21 * 4);
+    EXPECT_TRUE(sameGates(a, vqeBenchmark(4, 20, 11)));
+    EXPECT_FALSE(sameGates(a, vqeBenchmark(4, 20, 12)));
+}
+
+TEST(Qaoa, EdgeAndRoundCounts)
+{
+    const Circuit c = qaoaBenchmark(5, 8, 3, 23);
+    EXPECT_EQ(c.countKind(GateKind::H), 5);
+    EXPECT_EQ(c.countKind(GateKind::RZZ), 8 * 3);
+    EXPECT_EQ(c.countKind(GateKind::RX), 5 * 3);
+    EXPECT_THROW(qaoaBenchmark(5, 11, 1, 1), std::invalid_argument);
+}
+
+TEST(Advantage, CycleStructure)
+{
+    const Circuit c = advantageBenchmark(6, 37);
+    EXPECT_EQ(c.numQubits(), 9);
+    // 9 one-qubit gates per cycle.
+    int oneQubit = 0;
+    for (const auto &g : c.gates())
+        if (g.numQubits() == 1)
+            ++oneQubit;
+    EXPECT_EQ(oneQubit, 6 * 9);
+    EXPECT_GT(c.countKind(GateKind::CZ), 0);
+}
+
+TEST(Heisenberg, TrotterStructure)
+{
+    const Circuit c = heisenbergBenchmark(6, 3, 0.1);
+    EXPECT_EQ(c.numQubits(), 6);
+    EXPECT_EQ(c.countKind(GateKind::RXX), 3 * 5);
+    EXPECT_EQ(c.countKind(GateKind::RYY), 3 * 5);
+    EXPECT_EQ(c.countKind(GateKind::RZZ), 3 * 5);
+    EXPECT_EQ(c.countKind(GateKind::X), 3);  // Neel preparation.
+}
+
+TEST(Heisenberg, ConservesTotalMagnetizationWithoutField)
+{
+    // The XXX chain conserves total Z; starting from a basis state the
+    // output support stays in the same Hamming-weight sector. RZ fields
+    // are diagonal so they preserve the sector too.
+    const Circuit c = heisenbergBenchmark(4, 2, 0.2);
+    const auto p = idealDistribution(c);
+    const int weight = 2;  // Neel state on 4 qubits has weight 2.
+    double inSector = 0.0;
+    for (size_t i = 0; i < p.size(); ++i) {
+        int w = 0;
+        for (int b = 0; b < 4; ++b)
+            if (i & (size_t{1} << b))
+                ++w;
+        if (w == weight)
+            inSector += p[i];
+    }
+    EXPECT_NEAR(inSector, 1.0, 1e-9);
+}
+
+TEST(Suite, TenBenchmarksWithFactories)
+{
+    const auto &suite = benchmarkSuite();
+    ASSERT_EQ(suite.size(), 10u);
+    for (const auto &spec : suite) {
+        const Circuit c = spec.make();
+        EXPECT_EQ(c.numQubits(), spec.numQubits) << spec.name;
+        EXPECT_GT(c.size(), 0u) << spec.name;
+        EXPECT_GT(spec.paper.totalPulses, 0) << spec.name;
+    }
+    EXPECT_EQ(benchmarkByName("qft-5").numQubits, 5);
+    EXPECT_THROW(benchmarkByName("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geyser

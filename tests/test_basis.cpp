@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Basis-lowering tests: every lowering preserves the circuit unitary (up
+ * to global phase) and emits only {U3, CZ}; the CCZ lowering matches the
+ * paper's Fig 11 pulse accounting after fusion.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/unitary_sim.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/passes.hpp"
+
+namespace geyser {
+namespace {
+
+void
+expectLoweringEquivalent(const Circuit &logical, double tol = 1e-9)
+{
+    const Circuit phys = decomposeToBasis(logical);
+    EXPECT_TRUE(phys.isPhysical());
+    EXPECT_EQ(phys.countKind(GateKind::CCZ), 0)
+        << "lowering must not emit CCZ (paper Sec 3.2)";
+    EXPECT_LT(circuitHsd(logical, phys), tol) << logical.toString();
+}
+
+TEST(Basis, OneQubitGatesBecomeSingleU3)
+{
+    Circuit c(1);
+    c.h(0);
+    const Circuit phys = decomposeToBasis(c);
+    EXPECT_EQ(phys.size(), 1u);
+    EXPECT_EQ(phys.gates()[0].kind(), GateKind::U3);
+    expectLoweringEquivalent(c);
+}
+
+TEST(Basis, CxLowering)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    const Circuit phys = decomposeToBasis(c);
+    EXPECT_EQ(phys.countKind(GateKind::CZ), 1);
+    EXPECT_EQ(phys.countKind(GateKind::U3), 2);
+    expectLoweringEquivalent(c);
+}
+
+TEST(Basis, CxReversedOperands)
+{
+    Circuit c(2);
+    c.cx(1, 0);
+    expectLoweringEquivalent(c);
+}
+
+TEST(Basis, CpLowering)
+{
+    for (const double lambda : {0.3, -1.2, kPi}) {
+        Circuit c(2);
+        c.cp(0, 1, lambda);
+        expectLoweringEquivalent(c);
+    }
+}
+
+TEST(Basis, TwoQubitRotationLowerings)
+{
+    for (const double theta : {0.4, -0.9, 2.7}) {
+        Circuit zz(2), xx(2), yy(2);
+        zz.rzz(0, 1, theta);
+        xx.rxx(0, 1, theta);
+        yy.ryy(0, 1, theta);
+        expectLoweringEquivalent(zz);
+        expectLoweringEquivalent(xx);
+        expectLoweringEquivalent(yy);
+    }
+}
+
+TEST(Basis, SwapLowering)
+{
+    Circuit c(2);
+    c.swap(0, 1);
+    const Circuit phys = decomposeToBasis(c);
+    EXPECT_EQ(phys.countKind(GateKind::CZ), 3);
+    expectLoweringEquivalent(c);
+}
+
+TEST(Basis, ToffoliLowering)
+{
+    Circuit c(3);
+    c.ccx(0, 1, 2);
+    expectLoweringEquivalent(c);
+}
+
+TEST(Basis, CczLoweringMatchesUnitaryExactly)
+{
+    Circuit c(3);
+    c.ccz(0, 1, 2);
+    const Circuit phys = decomposeToBasis(c);
+    EXPECT_EQ(phys.countKind(GateKind::CZ), 6);
+    expectLoweringEquivalent(c);
+}
+
+TEST(Basis, Fig11CczCostsAbout26PulsesAfterFusion)
+{
+    // Paper Fig 11: decomposed CCZ = 6 CZ + 8 U3 = 18 + 8 = 26 pulses.
+    // Our textbook CX orientations leave one extra un-mergeable U3
+    // (9 instead of 8 -> 27 pulses), still 5x the native CCZ's 5 pulses.
+    Circuit c(3);
+    c.ccz(0, 1, 2);
+    Circuit phys = decomposeToBasis(c);
+    fuseU3Pass(phys, true);
+    EXPECT_EQ(phys.countKind(GateKind::CZ), 6);
+    EXPECT_EQ(phys.countKind(GateKind::U3), 9);
+    EXPECT_EQ(phys.totalPulses(), 27);
+    // Still equivalent after fusion.
+    Circuit logical(3);
+    logical.ccz(0, 1, 2);
+    EXPECT_LT(circuitHsd(logical, phys), 1e-9);
+}
+
+TEST(Basis, MixedCircuitLowering)
+{
+    Circuit c(3);
+    c.h(0);
+    c.t(1);
+    c.cx(0, 1);
+    c.rzz(1, 2, 0.8);
+    c.ccx(0, 1, 2);
+    c.rx(2, -0.4);
+    expectLoweringEquivalent(c);
+}
+
+TEST(Basis, U3FromGateThrowsOnMultiQubit)
+{
+    EXPECT_THROW(u3FromGate(Gate(GateKind::CZ, 0, 1)), std::invalid_argument);
+}
+
+TEST(Basis, LoweringIsIdempotent)
+{
+    Circuit c(3);
+    c.ccx(0, 1, 2);
+    const Circuit once = decomposeToBasis(c);
+    const Circuit twice = decomposeToBasis(once);
+    EXPECT_EQ(once.size(), twice.size());
+}
+
+}  // namespace
+}  // namespace geyser

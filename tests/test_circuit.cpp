@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Circuit IR tests: building, counting, per-qubit views, remapping,
+ * inversion.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "sim/unitary_sim.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(Circuit, AppendValidatesQubitRange)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.h(2), std::out_of_range);
+    EXPECT_THROW(c.cz(0, 5), std::out_of_range);
+    EXPECT_NO_THROW(c.h(1));
+}
+
+TEST(Circuit, GateCountsByKind)
+{
+    Circuit c(3);
+    c.h(0);
+    c.h(1);
+    c.cz(0, 1);
+    c.ccz(0, 1, 2);
+    EXPECT_EQ(c.countKind(GateKind::H), 2);
+    EXPECT_EQ(c.countKind(GateKind::CZ), 1);
+    EXPECT_EQ(c.countKind(GateKind::CCZ), 1);
+    EXPECT_EQ(c.countKind(GateKind::X), 0);
+    const auto counts = c.gateCounts();
+    EXPECT_EQ(counts.at(GateKind::H), 2);
+    EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(Circuit, TotalPulsesSumsPerGateCosts)
+{
+    Circuit c(3);
+    c.u3(0, 1, 2, 3);
+    c.u3(1, 1, 2, 3);
+    c.cz(0, 1);
+    c.ccz(0, 1, 2);
+    EXPECT_EQ(c.totalPulses(), 1 + 1 + 3 + 5);
+}
+
+TEST(Circuit, IsPhysicalDetectsLogicalGates)
+{
+    Circuit phys(2);
+    phys.u3(0, 1, 2, 3);
+    phys.cz(0, 1);
+    EXPECT_TRUE(phys.isPhysical());
+    Circuit log(2);
+    log.h(0);
+    EXPECT_FALSE(log.isPhysical());
+}
+
+TEST(Circuit, QubitOpListsPreserveOrder)
+{
+    Circuit c(3);
+    c.h(0);           // 0
+    c.cz(0, 1);       // 1
+    c.h(1);           // 2
+    c.ccz(0, 1, 2);   // 3
+    const auto lists = c.qubitOpLists();
+    EXPECT_EQ(lists[0], (std::vector<int>{0, 1, 3}));
+    EXPECT_EQ(lists[1], (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(lists[2], (std::vector<int>{3}));
+}
+
+TEST(Circuit, RemappedPermutesOperands)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cz(0, 1);
+    const Circuit r = c.remapped({3, 1}, 4);
+    EXPECT_EQ(r.numQubits(), 4);
+    EXPECT_EQ(r.gates()[0].qubit(0), 3);
+    EXPECT_EQ(r.gates()[1].qubit(0), 3);
+    EXPECT_EQ(r.gates()[1].qubit(1), 1);
+}
+
+TEST(Circuit, AppendCircuitConcatenates)
+{
+    Circuit a(2), b(2);
+    a.h(0);
+    b.cz(0, 1);
+    a.append(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.gates()[1].kind(), GateKind::CZ);
+}
+
+TEST(Circuit, InvertedComposesToIdentity)
+{
+    Circuit c(3);
+    c.h(0);
+    c.t(1);
+    c.cx(0, 1);
+    c.cp(1, 2, 0.7);
+    c.u3(2, 0.5, 1.0, -0.5);
+    c.ccx(0, 1, 2);
+
+    Circuit round_trip = c;
+    round_trip.append(c.inverted());
+    const auto u = circuitUnitary(round_trip);
+    EXPECT_TRUE(u.equalsUpToPhase(Matrix::identity(8), 1e-10));
+}
+
+TEST(Circuit, ToStringListsGates)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cz(0, 1);
+    const auto s = c.toString();
+    EXPECT_NE(s.find("h q0"), std::string::npos);
+    EXPECT_NE(s.find("cz q0, q1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geyser

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the common substrate: RNG determinism and distribution
+ * shapes, thread-pool behaviour under load.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(9);
+    std::vector<int> histogram(5, 0);
+    for (int i = 0; i < 5000; ++i) {
+        const int v = rng.uniformInt(5);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, 5);
+        ++histogram[static_cast<size_t>(v)];
+    }
+    for (const int h : histogram)
+        EXPECT_GT(h, 800);  // Roughly uniform.
+}
+
+TEST(Rng, BernoulliEdgeProbabilities)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, UniformVectorShape)
+{
+    Rng rng(17);
+    const auto v = rng.uniformVector(8, 1.0, 2.0);
+    ASSERT_EQ(v.size(), 8u);
+    for (const double x : v) {
+        EXPECT_GE(x, 1.0);
+        EXPECT_LT(x, 2.0);
+    }
+}
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.waitIdle();
+    SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForHandlesZeroItems)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](int) { FAIL() << "must not be called"; });
+    SUCCEED();
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        pool.parallelFor(10, [&counter](int) { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace geyser

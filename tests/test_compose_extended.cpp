@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the extended entangler mode and the composition memo.
+ */
+#include <gtest/gtest.h>
+
+#include "compose/composer.hpp"
+#include "sim/unitary_sim.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/passes.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(ExtendedEntangler, FindsCheaperCzLayersForCzStructuredBlock)
+{
+    // A block generated from a 2-layer CZ(0,1) ansatz (guaranteed
+    // representable with two CZ layers = 15 pulses), padded with a
+    // cancelling CZ pair for pulse headroom (21 pulses total). Extended
+    // mode can recover the cheap CZ structure; paper mode is limited to
+    // CCZ layers.
+    const Ansatz gen(3, 2, {Entangler::Cz01, Entangler::Cz01});
+    std::vector<double> truth(static_cast<size_t>(gen.numAngles()));
+    for (size_t i = 0; i < truth.size(); ++i)
+        truth[i] = 0.25 + 0.17 * static_cast<double>(i);
+    Circuit block = gen.toCircuit(truth);
+    block.cz(1, 2);
+    block.cz(1, 2);
+
+    ComposeOptions extended;
+    extended.entanglerMode = EntanglerMode::Extended;
+    const auto ext = composeBlock(block, extended);
+    ASSERT_TRUE(ext.composed);
+    EXPECT_LT(circuitHsd(block, ext.circuit), 2e-5);
+    EXPECT_LT(ext.circuit.totalPulses(), block.totalPulses());
+
+    // Paper mode keeps equivalence too (compose or keep-original).
+    ComposeOptions paper;
+    paper.entanglerMode = EntanglerMode::PaperCcz;
+    const auto pap = composeBlock(block, paper);
+    EXPECT_LT(circuitHsd(block, pap.circuit), 2e-5);
+    EXPECT_LE(ext.circuit.totalPulses(), pap.circuit.totalPulses());
+}
+
+TEST(ExtendedEntangler, StillComposesCczBlocks)
+{
+    Circuit logical(3);
+    logical.ccz(0, 1, 2);
+    Circuit block = decomposeToBasis(logical);
+    fuseU3Pass(block, true);
+    ComposeOptions opts;
+    opts.entanglerMode = EntanglerMode::Extended;
+    const auto result = composeBlock(block, opts);
+    EXPECT_TRUE(result.composed);
+    EXPECT_LT(circuitHsd(block, result.circuit), 2e-5);
+}
+
+TEST(ComposeMemo, CachedResultMatchesDirect)
+{
+    Circuit logical(3);
+    logical.ccx(0, 1, 2);
+    Circuit block = decomposeToBasis(logical);
+    const auto direct = composeBlock(block);
+    const auto cached1 = composeBlockCached(block);
+    const auto cached2 = composeBlockCached(block);
+    EXPECT_EQ(cached1.composed, direct.composed);
+    EXPECT_EQ(cached1.circuit.totalPulses(), direct.circuit.totalPulses());
+    // The second cached call is a pure lookup: identical result object.
+    EXPECT_EQ(cached2.circuit.totalPulses(), cached1.circuit.totalPulses());
+    EXPECT_EQ(cached2.evaluations, cached1.evaluations);
+}
+
+TEST(ComposeMemo, DistinguishesOptions)
+{
+    Circuit block(2);
+    block.u3(0, 0.4, 0.2, 0.7);
+    block.cz(0, 1);
+    block.u3(1, 1.4, -0.2, 0.1);
+    block.cz(0, 1);
+
+    ComposeOptions tight;
+    tight.threshold = 1e-7;
+    ComposeOptions loose;
+    loose.threshold = 1e-3;
+    const auto a = composeBlockCached(block, tight);
+    const auto b = composeBlockCached(block, loose);
+    // Different thresholds must not collide in the memo; both must be
+    // valid for their own tolerance.
+    if (a.composed)
+        EXPECT_LE(a.hsd, 1e-7);
+    if (b.composed)
+        EXPECT_LE(b.hsd, 1e-3);
+}
+
+TEST(ComposeMemo, DistinguishesGateParameters)
+{
+    Circuit a(2), b(2);
+    a.u3(0, 0.5, 0.0, 0.0);
+    a.cz(0, 1);
+    b.u3(0, 0.6, 0.0, 0.0);
+    b.cz(0, 1);
+    const auto ra = composeBlockCached(a);
+    const auto rb = composeBlockCached(b);
+    // Both keep the original (too cheap to compose), but the returned
+    // circuits must be their own inputs, not each other's.
+    EXPECT_EQ(ra.circuit.gates()[0].param(0), 0.5);
+    EXPECT_EQ(rb.circuit.gates()[0].param(0), 0.6);
+}
+
+}  // namespace
+}  // namespace geyser

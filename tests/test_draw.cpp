@@ -1,0 +1,95 @@
+/**
+ * @file
+ * ASCII circuit-rendering tests.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/draw.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(Draw, SingleQubitGatesOnOneWire)
+{
+    Circuit c(1);
+    c.h(0);
+    c.t(0);
+    const auto art = drawCircuit(c);
+    EXPECT_NE(art.find("q0:"), std::string::npos);
+    EXPECT_NE(art.find("H"), std::string::npos);
+    EXPECT_NE(art.find("T"), std::string::npos);
+}
+
+TEST(Draw, ControlledGateDrawsConnector)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    const auto art = drawCircuit(c);
+    EXPECT_NE(art.find("*"), std::string::npos);
+    EXPECT_NE(art.find("X"), std::string::npos);
+    EXPECT_NE(art.find("|"), std::string::npos);
+}
+
+TEST(Draw, NonAdjacentGateCrossesMiddleWire)
+{
+    Circuit c(3);
+    c.cz(0, 2);
+    const auto art = drawCircuit(c);
+    // The middle wire row must show the crossing connector.
+    std::istringstream in(art);
+    std::string line;
+    std::getline(in, line);             // q0
+    std::getline(in, line);             // spacer
+    std::getline(in, line);             // q1
+    EXPECT_NE(line.find("|"), std::string::npos) << art;
+}
+
+TEST(Draw, IndependentGatesShareColumn)
+{
+    Circuit c(4);
+    c.h(0);
+    c.h(1);
+    c.h(2);
+    c.h(3);
+    const auto art = drawCircuit(c);
+    // All four H gates pack into one column: every wire row has the
+    // same length and exactly one H.
+    std::istringstream in(art);
+    std::string line;
+    int hColumn = -1;
+    while (std::getline(in, line)) {
+        const auto pos = line.find('H');
+        if (pos == std::string::npos)
+            continue;
+        if (hColumn < 0)
+            hColumn = static_cast<int>(pos);
+        EXPECT_EQ(static_cast<int>(pos), hColumn);
+    }
+}
+
+TEST(Draw, DependentGatesUseSeparateColumns)
+{
+    Circuit c(1);
+    c.h(0);
+    c.h(0);
+    const auto art = drawCircuit(c);
+    const auto first = art.find('H');
+    const auto second = art.find('H', first + 1);
+    EXPECT_NE(second, std::string::npos);
+}
+
+TEST(Draw, MaxColumnsTruncates)
+{
+    Circuit c(1);
+    for (int i = 0; i < 10; ++i)
+        c.h(0);
+    const auto art = drawCircuit(c, 3);
+    int count = 0;
+    for (const char ch : art)
+        if (ch == 'H')
+            ++count;
+    EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace geyser

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Functional tests for the extra algorithm generators (GHZ,
+ * Bernstein-Vazirani, Grover) including end-to-end Geyser compilation.
+ */
+#include <gtest/gtest.h>
+
+#include "algos/algos.hpp"
+#include "geyser/pipeline.hpp"
+#include "sim/statevector.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(Ghz, PreparesCatState)
+{
+    for (const int n : {2, 4, 6}) {
+        const auto p = idealDistribution(ghzCircuit(n));
+        EXPECT_NEAR(p[0], 0.5, 1e-12) << n;
+        EXPECT_NEAR(p[p.size() - 1], 0.5, 1e-12) << n;
+    }
+    EXPECT_THROW(ghzCircuit(1), std::invalid_argument);
+}
+
+class BvSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BvSweep, RecoversSecretDeterministically)
+{
+    const uint64_t secret = GetParam();
+    const int bits = 4;
+    const auto p = idealDistribution(bernsteinVazirani(bits, secret));
+    // Marginal over the ancilla: the query register must equal secret.
+    double mass = 0.0;
+    for (size_t i = 0; i < p.size(); ++i)
+        if ((i & ((size_t{1} << bits) - 1)) == secret)
+            mass += p[i];
+    EXPECT_NEAR(mass, 1.0, 1e-10) << secret;
+}
+
+INSTANTIATE_TEST_SUITE_P(Secrets, BvSweep,
+                         ::testing::Values(0u, 1u, 5u, 10u, 15u));
+
+TEST(Grover, TwoQubitSingleIterationIsExact)
+{
+    // For N = 4 one Grover iteration finds the marked item exactly.
+    for (uint64_t marked = 0; marked < 4; ++marked) {
+        const auto p = idealDistribution(groverSearch(2, marked, 1));
+        EXPECT_NEAR(p[marked], 1.0, 1e-10) << marked;
+    }
+}
+
+TEST(Grover, ThreeQubitTwoIterationsBoostMarkedItem)
+{
+    // For N = 8, two iterations give ~94.5% success.
+    const auto p = idealDistribution(groverSearch(3, 5, 2));
+    EXPECT_GT(p[5], 0.9);
+    double rest = 0.0;
+    for (size_t i = 0; i < p.size(); ++i)
+        if (i != 5)
+            rest += p[i];
+    EXPECT_LT(rest, 0.1);
+}
+
+TEST(Grover, ValidatesArguments)
+{
+    EXPECT_THROW(groverSearch(4, 0, 1), std::invalid_argument);
+    EXPECT_THROW(groverSearch(3, 8, 1), std::invalid_argument);
+}
+
+TEST(Grover, GeyserCompilationKeepsSuccessProbability)
+{
+    // Grover's oracle is literally a CCZ: the Geyser-compiled circuit
+    // must preserve the ideal output and use few pulses.
+    const Circuit logical = groverSearch(3, 3, 2);
+    const auto gey = compileGeyser(logical);
+    EXPECT_LT(idealTvd(gey), 1e-2);
+    const auto base = compileBaseline(logical);
+    EXPECT_LT(gey.stats.totalPulses, base.stats.totalPulses);
+}
+
+}  // namespace
+}  // namespace geyser

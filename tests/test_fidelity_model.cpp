@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Analytic fidelity-model tests: closed-form values, monotonicity, and
+ * agreement with simulation (the bound holds; the ranking matches).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/algos.hpp"
+#include "geyser/pipeline.hpp"
+#include "metrics/fidelity_model.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(FidelityModel, SingleGateClosedForm)
+{
+    Circuit c(1);
+    c.u3(0, 1, 1, 1);
+    const NoiseModel nm{0.01, 0.02, false, 0.0, 0.0};
+    EXPECT_NEAR(noErrorProbability(c, nm), 0.99 * 0.98, 1e-12);
+}
+
+TEST(FidelityModel, MultiQubitGatesCountPerQubit)
+{
+    Circuit c(3);
+    c.ccz(0, 1, 2);
+    const NoiseModel nm{0.01, 0.0, false, 0.0, 0.0};
+    EXPECT_NEAR(noErrorProbability(c, nm), std::pow(0.99, 3), 1e-12);
+}
+
+TEST(FidelityModel, PerPulseScalingLowersFidelity)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    NoiseModel perOp = NoiseModel::withRate(0.01);
+    NoiseModel perPulse = perOp;
+    perPulse.perPulse = true;
+    EXPECT_GT(noErrorProbability(c, perOp),
+              noErrorProbability(c, perPulse));
+}
+
+TEST(FidelityModel, MonotoneInCircuitLength)
+{
+    const NoiseModel nm = NoiseModel::paperDefault();
+    Circuit shorter(2), longer(2);
+    for (int i = 0; i < 5; ++i)
+        shorter.cz(0, 1);
+    for (int i = 0; i < 15; ++i)
+        longer.cz(0, 1);
+    EXPECT_GT(noErrorProbability(shorter, nm),
+              noErrorProbability(longer, nm));
+}
+
+TEST(FidelityModel, NoiselessMeansCertainSuccess)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    EXPECT_DOUBLE_EQ(noErrorProbability(c, NoiseModel::withRate(0.0)), 1.0);
+    EXPECT_DOUBLE_EQ(tvdUpperBound(c, NoiseModel::withRate(0.0)), 0.0);
+}
+
+TEST(FidelityModel, BoundsSimulatedTvd)
+{
+    // The model's TVD bound must hold against trajectory simulation.
+    const Circuit logical = multiplier5Benchmark();
+    const auto gey = compileGeyser(logical);
+    const NoiseModel nm = NoiseModel::withRate(0.002);
+    TrajectoryConfig cfg;
+    cfg.trajectories = 400;
+    cfg.seed = 19;
+    const double simulated = evaluateTvd(gey, nm, cfg);
+    const double bound = tvdUpperBound(gey.physical, nm);
+    EXPECT_LE(simulated, bound + 0.02);  // Sampling slack.
+}
+
+TEST(FidelityModel, RanksTechniquesLikeSimulation)
+{
+    // The analytic model must order Baseline vs Geyser the same way the
+    // noisy simulation does — it is the compiler's cost function.
+    const Circuit logical = multiplier5Benchmark();
+    const auto base = compileBaseline(logical);
+    const auto gey = compileGeyser(logical);
+    const NoiseModel nm = NoiseModel::paperDefault();
+    EXPECT_GT(tvdUpperBound(base.physical, nm),
+              tvdUpperBound(gey.physical, nm));
+}
+
+}  // namespace
+}  // namespace geyser

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the dense complex matrix substrate.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(Matrix, IdentityHasOnesOnDiagonal)
+{
+    const auto id = Matrix::identity(4);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            EXPECT_EQ(id(i, j), (i == j ? Complex{1.0} : Complex{}));
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop)
+{
+    Matrix m{{1.0, 2.0}, {Complex{0, 1}, -3.0}};
+    const auto prod = m * Matrix::identity(2);
+    EXPECT_NEAR(prod.maxAbsDiff(m), 0.0, 1e-15);
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    const auto c = a * b;
+    EXPECT_EQ(c(0, 0), Complex{19.0});
+    EXPECT_EQ(c(0, 1), Complex{22.0});
+    EXPECT_EQ(c(1, 0), Complex{43.0});
+    EXPECT_EQ(c(1, 1), Complex{50.0});
+}
+
+TEST(Matrix, ShapeMismatchThrows)
+{
+    Matrix a(2, 3);
+    Matrix b(2, 3);
+    EXPECT_THROW(a * b, std::invalid_argument);
+    EXPECT_THROW(a.trace(), std::invalid_argument);
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes)
+{
+    Matrix m{{Complex{1, 2}, Complex{3, 4}}, {Complex{5, 6}, Complex{7, 8}}};
+    const auto d = m.dagger();
+    EXPECT_EQ(d(0, 0), (Complex{1, -2}));
+    EXPECT_EQ(d(0, 1), (Complex{5, -6}));
+    EXPECT_EQ(d(1, 0), (Complex{3, -4}));
+    EXPECT_EQ(d(1, 1), (Complex{7, -8}));
+}
+
+TEST(Matrix, KronDimensionsAndValues)
+{
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+    const auto k = a.kron(b);
+    ASSERT_EQ(k.rows(), 4);
+    ASSERT_EQ(k.cols(), 4);
+    EXPECT_EQ(k(0, 1), Complex{1.0});
+    EXPECT_EQ(k(0, 3), Complex{2.0});
+    EXPECT_EQ(k(3, 2), Complex{4.0});
+    EXPECT_EQ(k(0, 0), Complex{0.0});
+}
+
+TEST(Matrix, KronWithIdentityPreservesUnitarity)
+{
+    const double r = 1.0 / std::sqrt(2.0);
+    Matrix h{{r, r}, {r, -r}};
+    EXPECT_TRUE(h.isUnitary());
+    EXPECT_TRUE(h.kron(Matrix::identity(2)).isUnitary());
+    EXPECT_TRUE(Matrix::identity(4).kron(h).isUnitary());
+}
+
+TEST(Matrix, TraceSumsDiagonal)
+{
+    Matrix m{{Complex{1, 1}, 0.0}, {0.0, Complex{2, -3}}};
+    EXPECT_EQ(m.trace(), (Complex{3, -2}));
+}
+
+TEST(Matrix, FrobeniusNormOfIdentity)
+{
+    EXPECT_NEAR(Matrix::identity(4).frobeniusNorm(), 2.0, 1e-15);
+}
+
+TEST(Matrix, DiagonalBuilder)
+{
+    const auto d = Matrix::diagonal({1.0, Complex{0, 1}, -1.0});
+    EXPECT_EQ(d.rows(), 3);
+    EXPECT_EQ(d(1, 1), (Complex{0, 1}));
+    EXPECT_EQ(d(0, 1), Complex{});
+}
+
+TEST(Matrix, IsUnitaryRejectsNonUnitary)
+{
+    Matrix m{{1.0, 1.0}, {0.0, 1.0}};
+    EXPECT_FALSE(m.isUnitary());
+}
+
+TEST(Hsd, ZeroForEqualUnitaries)
+{
+    const double r = 1.0 / std::sqrt(2.0);
+    Matrix h{{r, r}, {r, -r}};
+    EXPECT_NEAR(hilbertSchmidtDistance(h, h), 0.0, 1e-15);
+}
+
+TEST(Hsd, ZeroUpToGlobalPhase)
+{
+    const double r = 1.0 / std::sqrt(2.0);
+    Matrix h{{r, r}, {r, -r}};
+    const auto phased = h * std::exp(kI * 0.7);
+    EXPECT_NEAR(hilbertSchmidtDistance(h, phased), 0.0, 1e-12);
+    EXPECT_TRUE(h.equalsUpToPhase(phased));
+}
+
+TEST(Hsd, OneishForOrthogonalUnitaries)
+{
+    // Tr(X^dagger Z) = 0 -> HSD = 1.
+    Matrix x{{0.0, 1.0}, {1.0, 0.0}};
+    Matrix z{{1.0, 0.0}, {0.0, -1.0}};
+    EXPECT_NEAR(hilbertSchmidtDistance(x, z), 1.0, 1e-15);
+}
+
+TEST(Hsd, SymmetricInArguments)
+{
+    Matrix x{{0.0, 1.0}, {1.0, 0.0}};
+    const double r = 1.0 / std::sqrt(2.0);
+    Matrix h{{r, r}, {r, -r}};
+    EXPECT_NEAR(hilbertSchmidtDistance(x, h), hilbertSchmidtDistance(h, x),
+                1e-15);
+}
+
+}  // namespace
+}  // namespace geyser

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Optimizer tests: Nelder-Mead local convergence and dual-annealing
+ * global search on standard test functions.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/types.hpp"
+#include "opt/dual_annealing.hpp"
+#include "opt/nelder_mead.hpp"
+
+namespace geyser {
+namespace {
+
+double
+sphere(const std::vector<double> &x)
+{
+    double s = 0.0;
+    for (const double v : x)
+        s += v * v;
+    return s;
+}
+
+double
+rosenbrock(const std::vector<double> &x)
+{
+    double s = 0.0;
+    for (size_t i = 0; i + 1 < x.size(); ++i) {
+        const double a = x[i + 1] - x[i] * x[i];
+        const double b = 1.0 - x[i];
+        s += 100.0 * a * a + b * b;
+    }
+    return s;
+}
+
+double
+rastrigin(const std::vector<double> &x)
+{
+    double s = 10.0 * static_cast<double>(x.size());
+    for (const double v : x)
+        s += v * v - 10.0 * std::cos(2.0 * kPi * v);
+    return s;
+}
+
+TEST(NelderMead, MinimizesSphere)
+{
+    const auto r = nelderMead(sphere, {3.0, -2.0, 1.5});
+    EXPECT_LT(r.value, 1e-10);
+    for (const double v : r.x)
+        EXPECT_NEAR(v, 0.0, 1e-4);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2d)
+{
+    NelderMeadOptions opts;
+    opts.maxIterations = 5000;
+    const auto r = nelderMead(rosenbrock, {-1.2, 1.0}, opts);
+    EXPECT_LT(r.value, 1e-8);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, ReportsEvaluationCount)
+{
+    const auto r = nelderMead(sphere, {1.0, 1.0});
+    EXPECT_GT(r.evaluations, 3);
+}
+
+TEST(DualAnnealing, MinimizesSphereInBox)
+{
+    const std::vector<double> lo(4, -5.0), hi(4, 5.0);
+    DualAnnealingOptions opts;
+    opts.maxEvaluations = 50000;
+    opts.seed = 3;
+    const auto r = dualAnnealing(sphere, lo, hi, opts);
+    EXPECT_LT(r.value, 1e-8);
+}
+
+TEST(DualAnnealing, EscapesRastriginLocalMinima)
+{
+    // Rastrigin has a dense grid of local minima; a pure local search
+    // from a random point nearly always stalls above the global optimum.
+    const std::vector<double> lo(3, -5.12), hi(3, 5.12);
+    DualAnnealingOptions opts;
+    opts.maxEvaluations = 120000;
+    opts.seed = 11;
+    const auto r = dualAnnealing(rastrigin, lo, hi, opts);
+    EXPECT_LT(r.value, 1.0);  // Global minimum is 0; local traps are >= ~1.
+}
+
+TEST(DualAnnealing, RespectsBounds)
+{
+    // Minimum of (x - 10)^2 within [-1, 1] is at the boundary x = 1.
+    const auto f = [](const std::vector<double> &x) {
+        return (x[0] - 10.0) * (x[0] - 10.0);
+    };
+    const auto r = dualAnnealing(f, {-1.0}, {1.0});
+    EXPECT_GE(r.x[0], -1.0 - 1e-9);
+    EXPECT_LE(r.x[0], 1.0 + 1e-9);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+}
+
+TEST(DualAnnealing, StopsEarlyAtTarget)
+{
+    DualAnnealingOptions opts;
+    opts.targetValue = 1e-3;
+    opts.maxEvaluations = 1000000;
+    const std::vector<double> lo(2, -5.0), hi(2, 5.0);
+    const auto r = dualAnnealing(sphere, lo, hi, opts);
+    EXPECT_LE(r.value, 1e-3);
+    EXPECT_LT(r.evaluations, 1000000);
+}
+
+TEST(DualAnnealing, DeterministicForFixedSeed)
+{
+    const std::vector<double> lo(2, -5.0), hi(2, 5.0);
+    DualAnnealingOptions opts;
+    opts.maxEvaluations = 5000;
+    opts.seed = 99;
+    const auto a = dualAnnealing(rastrigin, lo, hi, opts);
+    const auto b = dualAnnealing(rastrigin, lo, hi, opts);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.x, b.x);
+}
+
+TEST(DualAnnealing, BadBoundsThrow)
+{
+    EXPECT_THROW(dualAnnealing(sphere, {}, {}), std::invalid_argument);
+    EXPECT_THROW(dualAnnealing(sphere, {0.0}, {1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geyser

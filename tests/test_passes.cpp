@@ -1,0 +1,189 @@
+/**
+ * @file
+ * OptiMap optimization-pass tests: fusion, identity elimination,
+ * commutation-aware CZ cancellation, and unitary preservation.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/unitary_sim.hpp"
+#include "transpile/basis.hpp"
+#include "transpile/passes.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(FusePass, MergesAdjacentU3Runs)
+{
+    Circuit c(1);
+    c.u3(0, 0.3, 0.1, 0.2);
+    c.u3(0, 1.1, -0.4, 0.6);
+    c.u3(0, 0.9, 0.0, 0.0);
+    Circuit fused = c;
+    EXPECT_TRUE(fuseU3Pass(fused));
+    EXPECT_EQ(fused.size(), 1u);
+    EXPECT_LT(circuitHsd(c, fused), 1e-10);
+}
+
+TEST(FusePass, DropsIdentityPairs)
+{
+    Circuit c(1);
+    c.u3(0, kPi / 2, 0, kPi);  // H
+    c.u3(0, kPi / 2, 0, kPi);  // H -> identity
+    Circuit fused = c;
+    fuseU3Pass(fused, true);
+    EXPECT_EQ(fused.size(), 0u);
+}
+
+TEST(FusePass, KeepsIdentityWhenAskedTo)
+{
+    Circuit c(1);
+    c.u3(0, kPi / 2, 0, kPi);
+    c.u3(0, kPi / 2, 0, kPi);
+    Circuit fused = c;
+    fuseU3Pass(fused, false);
+    EXPECT_EQ(fused.size(), 1u);
+}
+
+TEST(FusePass, DoesNotFuseAcrossEntanglers)
+{
+    Circuit c(2);
+    c.u3(0, 0.4, 0, 0);
+    c.cz(0, 1);
+    c.u3(0, -0.4, 0, 0);
+    Circuit fused = c;
+    fuseU3Pass(fused);
+    EXPECT_EQ(fused.countKind(GateKind::U3), 2);
+    EXPECT_LT(circuitHsd(c, fused), 1e-10);
+}
+
+TEST(FusePass, FusesAroundNonSharedQubits)
+{
+    // Gates on qubit 1 fuse even with a CZ on qubits 0 and 2 between.
+    Circuit c(3);
+    c.u3(1, 0.2, 0, 0);
+    c.cz(0, 2);
+    c.u3(1, 0.3, 0, 0);
+    Circuit fused = c;
+    fuseU3Pass(fused);
+    EXPECT_EQ(fused.countKind(GateKind::U3), 1);
+    EXPECT_LT(circuitHsd(c, fused), 1e-10);
+}
+
+TEST(FusePass, RejectsLogicalCircuits)
+{
+    Circuit c(1);
+    c.h(0);
+    EXPECT_THROW(fuseU3Pass(c), std::invalid_argument);
+}
+
+TEST(CancelCz, AdjacentPairCancels)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    c.cz(0, 1);
+    EXPECT_TRUE(cancelCzPass(c));
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(CancelCz, ReversedOperandOrderStillCancels)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    c.cz(1, 0);
+    cancelCzPass(c);
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(CancelCz, DiagonalU3Commutes)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    c.u3(0, 0.0, 0.0, 0.7);  // Diagonal (theta = 0).
+    c.cz(0, 1);
+    Circuit orig = c;
+    EXPECT_TRUE(cancelCzPass(c));
+    EXPECT_EQ(c.countKind(GateKind::CZ), 0);
+    EXPECT_EQ(c.countKind(GateKind::U3), 1);
+    EXPECT_LT(circuitHsd(orig, c), 1e-10);
+}
+
+TEST(CancelCz, OtherPairCzCommutes)
+{
+    // CZ(0,1) CZ(1,2) CZ(0,1): all diagonal, outer pair cancels.
+    Circuit c(3);
+    c.cz(0, 1);
+    c.cz(1, 2);
+    c.cz(0, 1);
+    Circuit orig = c;
+    EXPECT_TRUE(cancelCzPass(c));
+    EXPECT_EQ(c.countKind(GateKind::CZ), 1);
+    EXPECT_LT(circuitHsd(orig, c), 1e-10);
+}
+
+TEST(CancelCz, NonDiagonalGateBlocksCancellation)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    c.u3(0, kPi / 2, 0, kPi);  // H: not diagonal.
+    c.cz(0, 1);
+    EXPECT_FALSE(cancelCzPass(c));
+    EXPECT_EQ(c.countKind(GateKind::CZ), 2);
+}
+
+TEST(Optimize, ReducesHCzHSandwich)
+{
+    // CX CX = I: two lowered CXs collapse entirely.
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    Circuit phys = decomposeToBasis(c);
+    EXPECT_EQ(phys.size(), 6u);
+    optimize(phys);
+    EXPECT_EQ(phys.size(), 0u);
+}
+
+TEST(Optimize, PreservesUnitaryOnMixedCircuit)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.t(1);
+    c.cx(0, 1);
+    c.rzz(1, 2, 0.7);
+    c.h(0);
+    const Circuit phys = decomposeToBasis(c);
+    Circuit opt = phys;
+    optimize(opt);
+    EXPECT_LE(opt.totalPulses(), phys.totalPulses());
+    EXPECT_LT(circuitHsd(phys, opt), 1e-9);
+}
+
+TEST(Optimize, SubstantialReductionOnTrotterPattern)
+{
+    // Consecutive RZZ on the same pair produce cancelling CX pairs.
+    Circuit c(2);
+    for (int i = 0; i < 10; ++i)
+        c.rzz(0, 1, 0.1);
+    Circuit phys = decomposeToBasis(c);
+    const long before = phys.totalPulses();
+    optimize(phys);
+    EXPECT_LT(phys.totalPulses(), before / 3);
+    Circuit ref = decomposeToBasis(c);
+    EXPECT_LT(circuitHsd(ref, phys), 1e-9);
+}
+
+TEST(Optimize, IdempotentAtFixedPoint)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.ccx(0, 1, 2);
+    Circuit opt = decomposeToBasis(c);
+    optimize(opt);
+    Circuit again = opt;
+    optimize(again);
+    EXPECT_EQ(opt.size(), again.size());
+}
+
+}  // namespace
+}  // namespace geyser

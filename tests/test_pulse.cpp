@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Pulse-lowering tests: pulse counts per gate match paper Fig 3,
+ * ordering of control/target pulses, schedule consistency.
+ */
+#include <gtest/gtest.h>
+
+#include "pulse/pulse.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(Pulse, U3LowersToOneRamanPulse)
+{
+    Circuit c(1);
+    c.u3(0, 0.1, 0.2, 0.3);
+    const auto program = lowerToPulses(c);
+    ASSERT_EQ(program.pulses.size(), 1u);
+    EXPECT_EQ(program.pulses[0].kind, PulseKind::Raman);
+    EXPECT_EQ(program.pulses[0].atom, 0);
+    EXPECT_EQ(program.makespan, 1);
+}
+
+TEST(Pulse, CzLowersToPi2PiPiSequence)
+{
+    // Fig 3(a): pi on the control, 2*pi on the target, pi on the control.
+    Circuit c(2);
+    c.cz(0, 1);
+    const auto program = lowerToPulses(c);
+    ASSERT_EQ(program.pulses.size(), 3u);
+    EXPECT_EQ(program.pulses[0].kind, PulseKind::RydbergPi);
+    EXPECT_EQ(program.pulses[0].atom, 0);
+    EXPECT_EQ(program.pulses[1].kind, PulseKind::Rydberg2Pi);
+    EXPECT_EQ(program.pulses[1].atom, 1);
+    EXPECT_EQ(program.pulses[2].kind, PulseKind::RydbergPi);
+    EXPECT_EQ(program.pulses[2].atom, 0);
+    // Serial within the gate window.
+    EXPECT_EQ(program.pulses[0].startTime, 0);
+    EXPECT_EQ(program.pulses[1].startTime, 1);
+    EXPECT_EQ(program.pulses[2].startTime, 2);
+}
+
+TEST(Pulse, CczLowersToFivePulses)
+{
+    // Fig 3(b): pi, pi, 2*pi, pi, pi.
+    Circuit c(3);
+    c.ccz(0, 1, 2);
+    const auto program = lowerToPulses(c);
+    ASSERT_EQ(program.pulses.size(), 5u);
+    EXPECT_EQ(program.countKind(PulseKind::RydbergPi), 4);
+    EXPECT_EQ(program.countKind(PulseKind::Rydberg2Pi), 1);
+    EXPECT_EQ(program.pulses[2].kind, PulseKind::Rydberg2Pi);
+    EXPECT_EQ(program.pulses[2].atom, 2);
+    EXPECT_EQ(program.makespan, 5);
+}
+
+TEST(Pulse, TotalPulsesMatchCircuitMetric)
+{
+    Circuit c(3);
+    c.u3(0, 1, 1, 1);
+    c.cz(0, 1);
+    c.ccz(0, 1, 2);
+    c.u3(2, 1, 1, 1);
+    const auto program = lowerToPulses(c);
+    EXPECT_EQ(static_cast<long>(program.pulses.size()), c.totalPulses());
+}
+
+TEST(Pulse, MakespanMatchesScheduleDepth)
+{
+    Circuit c(4);
+    c.cz(0, 1);
+    c.cz(2, 3);
+    c.cz(1, 2);
+    const auto sched = scheduleAsap(c);
+    const auto program = lowerToPulses(c, sched);
+    EXPECT_EQ(program.makespan, sched.makespan);
+}
+
+TEST(Pulse, RestrictionAwareScheduleCarriesOver)
+{
+    const auto topo = Topology::makeTriangular(2, 2);
+    Circuit c(4);
+    c.cz(0, 1);
+    c.u3(2, 0, 0, 0);
+    const auto sched = scheduleRestrictionAware(c, topo);
+    const auto program = lowerToPulses(c, sched);
+    // The restricted U3 fires only after the CZ's window.
+    EXPECT_EQ(program.pulses.back().startTime, 3);
+}
+
+TEST(Pulse, RejectsLogicalCircuits)
+{
+    Circuit c(1);
+    c.h(0);
+    EXPECT_THROW(lowerToPulses(c), std::invalid_argument);
+}
+
+TEST(Pulse, ToStringListsEveryPulse)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    const auto s = lowerToPulses(c).toString();
+    EXPECT_NE(s.find("2pi"), std::string::npos);
+    EXPECT_NE(s.find("makespan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geyser

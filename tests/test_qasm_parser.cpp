@@ -1,0 +1,126 @@
+/**
+ * @file
+ * OpenQASM 2.0 importer tests: round trips with the exporter,
+ * expression evaluation, and diagnostics on malformed input.
+ */
+#include <gtest/gtest.h>
+
+#include "algos/algos.hpp"
+#include "io/qasm_parser.hpp"
+#include "io/serialize.hpp"
+#include "sim/unitary_sim.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(QasmParser, ParsesMinimalProgram)
+{
+    const Circuit c = circuitFromQasm(
+        "OPENQASM 2.0;\n"
+        "include \"qelib1.inc\";\n"
+        "qreg q[2];\n"
+        "h q[0];\n"
+        "cx q[0],q[1];\n");
+    EXPECT_EQ(c.numQubits(), 2);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.gates()[0].kind(), GateKind::H);
+    EXPECT_EQ(c.gates()[1].kind(), GateKind::CX);
+}
+
+TEST(QasmParser, EvaluatesAngleExpressions)
+{
+    const Circuit c = circuitFromQasm(
+        "OPENQASM 2.0;\nqreg q[1];\n"
+        "rz(pi/2) q[0];\n"
+        "rx(-pi/4) q[0];\n"
+        "u3(2*pi/3, 0.25, -(1+2)*0.5) q[0];\n"
+        "p(1e-3) q[0];\n");
+    EXPECT_NEAR(c.gates()[0].param(0), kPi / 2, 1e-15);
+    EXPECT_NEAR(c.gates()[1].param(0), -kPi / 4, 1e-15);
+    EXPECT_NEAR(c.gates()[2].param(0), 2 * kPi / 3, 1e-15);
+    EXPECT_NEAR(c.gates()[2].param(2), -1.5, 1e-15);
+    EXPECT_NEAR(c.gates()[3].param(0), 1e-3, 1e-18);
+}
+
+TEST(QasmParser, IgnoresCommentsMeasureAndCreg)
+{
+    const Circuit c = circuitFromQasm(
+        "OPENQASM 2.0;\n"
+        "qreg q[2];\ncreg c[2];\n"
+        "// a comment; with a semicolon\n"
+        "x q[0];\n"
+        "barrier q[0],q[1];\n"
+        "measure q[0] -> c[0];\n");
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gates()[0].kind(), GateKind::X);
+}
+
+TEST(QasmParser, AcceptsU1AndCu1Aliases)
+{
+    const Circuit c = circuitFromQasm(
+        "OPENQASM 2.0;\nqreg q[2];\nu1(0.5) q[0];\ncu1(0.25) q[0],q[1];\n");
+    EXPECT_EQ(c.gates()[0].kind(), GateKind::P);
+    EXPECT_EQ(c.gates()[1].kind(), GateKind::CP);
+}
+
+TEST(QasmParser, RoundTripsThroughExporter)
+{
+    for (const auto make :
+         {+[] { return adderBenchmark(1, true); },
+          +[] { return qftBenchmark(4); },
+          +[] { return qaoaBenchmark(4, 4, 2, 9); }}) {
+        const Circuit original = make();
+        const Circuit back = circuitFromQasm(circuitToQasm(original));
+        EXPECT_EQ(back.numQubits(), original.numQubits());
+        EXPECT_LT(circuitHsd(original, back), 1e-9);
+    }
+}
+
+TEST(QasmParser, RoundTripsCczViaToffoliForm)
+{
+    Circuit c(3);
+    c.ccz(0, 1, 2);
+    const Circuit back = circuitFromQasm(circuitToQasm(c));
+    // The exporter writes h-ccx-h; semantics must survive.
+    EXPECT_LT(circuitHsd(c, back), 1e-9);
+}
+
+TEST(QasmParser, DiagnosticsCarryLineNumbers)
+{
+    try {
+        circuitFromQasm("OPENQASM 2.0;\nqreg q[1];\nbogus q[0];\n");
+        FAIL() << "expected parse failure";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("qasm:3"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(QasmParser, RejectsMalformedPrograms)
+{
+    EXPECT_THROW(circuitFromQasm("qreg q[1];\nh q[0];\n"),
+                 std::invalid_argument);  // Missing header.
+    EXPECT_THROW(circuitFromQasm("OPENQASM 2.0;\nh q[0];\n"),
+                 std::invalid_argument);  // Missing qreg.
+    EXPECT_THROW(circuitFromQasm("OPENQASM 2.0;\nqreg q[2];\nh q0;\n"),
+                 std::invalid_argument);  // Malformed operand.
+    EXPECT_THROW(circuitFromQasm(
+                     "OPENQASM 2.0;\nqreg q[2];\nrz(0.1, 0.2) q[0];\n"),
+                 std::invalid_argument);  // Wrong parameter count.
+    EXPECT_THROW(circuitFromQasm(
+                     "OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n"),
+                 std::invalid_argument);  // Wrong operand count.
+    EXPECT_THROW(circuitFromQasm(
+                     "OPENQASM 2.0;\nqreg q[1];\nrz(pi/) q[0];\n"),
+                 std::invalid_argument);  // Bad expression.
+}
+
+TEST(QasmParser, RejectsGateDefinitions)
+{
+    EXPECT_THROW(circuitFromQasm("OPENQASM 2.0;\nqreg q[1];\n"
+                                 "gate foo a { h a; }\nfoo q[0];\n"),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geyser

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tweezer-rearrangement planner tests (paper Sec 6 atom-loss refill).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/rearrange.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(Rearrange, NoVacanciesMeansEmptyPlan)
+{
+    const auto topo = Topology::makeTriangular(3, 3);
+    const auto plan = planRearrangement(topo, {}, {6, 7, 8});
+    EXPECT_TRUE(plan.complete);
+    EXPECT_TRUE(plan.moves.empty());
+    EXPECT_EQ(plan.totalDistance, 0.0);
+}
+
+TEST(Rearrange, SingleLossTakesNearestSpare)
+{
+    const auto topo = Topology::makeTriangular(3, 3);
+    // Vacancy at site 0; spares at 8 (far) and 3 (near).
+    const auto plan = planRearrangement(topo, {0}, {8, 3});
+    ASSERT_EQ(plan.moves.size(), 1u);
+    EXPECT_EQ(plan.moves[0].from, 3);
+    EXPECT_EQ(plan.moves[0].to, 0);
+    EXPECT_TRUE(plan.complete);
+    EXPECT_NEAR(plan.moves[0].distance, 1.0, 1e-9);
+    EXPECT_NEAR(plan.cycleTime, 3.0, 1e-9);  // take + 1 travel + release.
+}
+
+TEST(Rearrange, EachSpareUsedAtMostOnce)
+{
+    const auto topo = Topology::makeSquare(4, 4, false);
+    const auto plan = planRearrangement(topo, {0, 1, 2}, {12, 13, 14, 15});
+    ASSERT_EQ(plan.moves.size(), 3u);
+    std::set<int> sources;
+    std::set<int> targets;
+    for (const auto &m : plan.moves) {
+        sources.insert(m.from);
+        targets.insert(m.to);
+    }
+    EXPECT_EQ(sources.size(), 3u);
+    EXPECT_EQ(targets, (std::set<int>{0, 1, 2}));
+}
+
+TEST(Rearrange, IncompleteWhenSparesRunOut)
+{
+    const auto topo = Topology::makeSquare(2, 2, false);
+    const auto plan = planRearrangement(topo, {0, 1}, {3});
+    EXPECT_FALSE(plan.complete);
+    EXPECT_EQ(plan.moves.size(), 1u);
+}
+
+TEST(Rearrange, GreedyPairingPicksGloballyClosestFirst)
+{
+    const auto topo = Topology::makeSquare(1, 6, false);
+    // Vacancies at 0 and 2; spares at 3 and 5. Closest pair is (2, 3).
+    const auto plan = planRearrangement(topo, {0, 2}, {3, 5});
+    ASSERT_EQ(plan.moves.size(), 2u);
+    EXPECT_EQ(plan.moves[0].from, 3);
+    EXPECT_EQ(plan.moves[0].to, 2);
+    EXPECT_EQ(plan.moves[1].from, 5);
+    EXPECT_EQ(plan.moves[1].to, 0);
+    EXPECT_NEAR(plan.totalDistance, 1.0 + 5.0, 1e-9);
+}
+
+TEST(Rearrange, RefillUsesNonComputationalSites)
+{
+    // 4x4 lattice, 8-site register, lose sites 1 and 6.
+    const auto topo = Topology::makeTriangular(4, 4);
+    const auto plan = planRefill(topo, 8, {1, 6});
+    EXPECT_TRUE(plan.complete);
+    ASSERT_EQ(plan.moves.size(), 2u);
+    for (const auto &m : plan.moves)
+        EXPECT_GE(m.from, 8);  // Spares come from outside the register.
+}
+
+TEST(Rearrange, ValidatesSiteIndices)
+{
+    const auto topo = Topology::makeSquare(2, 2, false);
+    EXPECT_THROW(planRearrangement(topo, {9}, {0}), std::invalid_argument);
+    EXPECT_THROW(planRearrangement(topo, {0}, {-1}), std::invalid_argument);
+    EXPECT_THROW(planRefill(topo, 9, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geyser

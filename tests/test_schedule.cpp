@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Pulse-scheduler tests: ASAP depth accounting and restriction-zone
+ * serialization.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/schedule.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(ScheduleAsap, SerialGatesOnOneQubit)
+{
+    Circuit c(1);
+    c.u3(0, 1, 2, 3);
+    c.u3(0, 1, 2, 3);
+    c.u3(0, 1, 2, 3);
+    EXPECT_EQ(depthPulses(c), 3);
+}
+
+TEST(ScheduleAsap, ParallelGatesOverlap)
+{
+    Circuit c(4);
+    c.cz(0, 1);
+    c.cz(2, 3);
+    EXPECT_EQ(depthPulses(c), 3);  // Both CZs run concurrently.
+}
+
+TEST(ScheduleAsap, ChainForcesSerialization)
+{
+    Circuit c(3);
+    c.cz(0, 1);
+    c.cz(1, 2);  // Shares qubit 1 -> must wait.
+    EXPECT_EQ(depthPulses(c), 6);
+}
+
+TEST(ScheduleAsap, MixedDurations)
+{
+    Circuit c(3);
+    c.u3(0, 0, 0, 0);   // [0, 1) on q0
+    c.ccz(0, 1, 2);     // [1, 6)
+    c.u3(1, 0, 0, 0);   // [6, 7)
+    EXPECT_EQ(depthPulses(c), 7);
+}
+
+TEST(ScheduleAsap, StartTimesExposed)
+{
+    Circuit c(2);
+    c.u3(0, 0, 0, 0);
+    c.cz(0, 1);
+    const auto sched = scheduleAsap(c);
+    EXPECT_EQ(sched.start[0], 0);
+    EXPECT_EQ(sched.start[1], 1);
+    EXPECT_EQ(sched.makespan, 4);
+}
+
+TEST(ScheduleRestriction, ZoneBlocksNeighborGates)
+{
+    // On a triangular lattice, a CZ on an edge restricts the neighbours:
+    // a U3 on a zone atom cannot overlap the CZ window.
+    const auto topo = Topology::makeTriangular(2, 2);
+    // Atoms 0-1 adjacent; atom 2 is in their zone.
+    Circuit c(4);
+    c.cz(0, 1);
+    c.u3(2, 0, 0, 0);
+    const long depth = depthPulses(c, topo);
+    EXPECT_EQ(depth, 4);  // U3 waits for the CZ to finish.
+
+    // Without restriction awareness they overlap.
+    EXPECT_EQ(depthPulses(c), 3);
+}
+
+TEST(ScheduleRestriction, RunningGateBlocksLaterRydbergOp)
+{
+    // A U3 mid-flight on a zone atom delays a Rydberg gate that would
+    // cover it... list order: u3 first, then cz.
+    const auto topo = Topology::makeTriangular(2, 2);
+    Circuit c(4);
+    c.u3(2, 0, 0, 0);
+    c.cz(0, 1);
+    const auto sched = scheduleRestrictionAware(c, topo);
+    EXPECT_EQ(sched.start[1], 1);  // CZ waits for the zone atom's U3.
+    EXPECT_EQ(sched.makespan, 4);
+}
+
+TEST(ScheduleRestriction, FarApartGatesStillParallel)
+{
+    const auto topo = Topology::makeTriangular(4, 8);
+    Circuit c(topo.numAtoms());
+    c.cz(0, 1);
+    c.cz(30, 31);
+    EXPECT_EQ(depthPulses(c, topo), 3);
+}
+
+TEST(ScheduleRestriction, MatchesAsapWhenNoMultiQubitGates)
+{
+    const auto topo = Topology::makeTriangular(2, 3);
+    Circuit c(6);
+    for (int q = 0; q < 6; ++q)
+        c.u3(q, 0, 0, 0);
+    EXPECT_EQ(depthPulses(c, topo), depthPulses(c));
+    EXPECT_EQ(depthPulses(c), 1);
+}
+
+}  // namespace
+}  // namespace geyser

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Statevector simulator tests: basis-state evolution, entanglement,
+ * agreement between the generic matrix path and the fast paths.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/statevector.hpp"
+#include "sim/unitary_sim.hpp"
+
+namespace geyser {
+namespace {
+
+TEST(StateVector, InitialStateIsAllZeros)
+{
+    StateVector sv(3);
+    EXPECT_EQ(sv.dim(), 8u);
+    EXPECT_EQ(sv.amplitudes()[0], Complex{1.0});
+    EXPECT_NEAR(sv.normSquared(), 1.0, 1e-15);
+}
+
+TEST(StateVector, XFlipsQubit)
+{
+    StateVector sv(2);
+    sv.applyX(1);
+    EXPECT_EQ(sv.amplitudes()[2], Complex{1.0});
+    EXPECT_EQ(sv.amplitudes()[0], Complex{0.0});
+}
+
+TEST(StateVector, HadamardCreatesUniformSuperposition)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(1);
+    const auto p = idealDistribution(c);
+    for (const double v : p)
+        EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(StateVector, BellState)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    const auto p = idealDistribution(c);
+    EXPECT_NEAR(p[0], 0.5, 1e-12);
+    EXPECT_NEAR(p[3], 0.5, 1e-12);
+    EXPECT_NEAR(p[1], 0.0, 1e-12);
+    EXPECT_NEAR(p[2], 0.0, 1e-12);
+}
+
+TEST(StateVector, GhzOnFiveQubits)
+{
+    Circuit c(5);
+    c.h(0);
+    for (int q = 0; q + 1 < 5; ++q)
+        c.cx(q, q + 1);
+    const auto p = idealDistribution(c);
+    EXPECT_NEAR(p[0], 0.5, 1e-12);
+    EXPECT_NEAR(p[31], 0.5, 1e-12);
+}
+
+TEST(StateVector, CxControlIsFirstOperand)
+{
+    // |10> with qubit1 = 1: CX(1, 0) must flip qubit 0.
+    StateVector sv(2);
+    sv.applyX(1);
+    sv.apply(Gate(GateKind::CX, 1, 0));
+    EXPECT_EQ(sv.amplitudes()[3], Complex{1.0});
+    // CX(0, 1) on |10>: control (qubit 0) is 0, so nothing happens.
+    StateVector sv2(2);
+    sv2.applyX(1);
+    sv2.apply(Gate(GateKind::CX, 0, 1));
+    EXPECT_EQ(sv2.amplitudes()[2], Complex{1.0});
+}
+
+TEST(StateVector, ToffoliComputesAnd)
+{
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            StateVector sv(3);
+            if (a)
+                sv.applyX(0);
+            if (b)
+                sv.applyX(1);
+            sv.apply(Gate(GateKind::CCX, 0, 1, 2));
+            const size_t expect = static_cast<size_t>(a) |
+                                  (static_cast<size_t>(b) << 1) |
+                                  (static_cast<size_t>(a & b) << 2);
+            EXPECT_NEAR(std::abs(sv.amplitudes()[expect]), 1.0, 1e-12)
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(StateVector, FastPathsMatchMatrixPath)
+{
+    // Apply CZ/CCZ/X/Z/Y via fast paths and via applyMatrix; compare.
+    Circuit prep(3);
+    prep.h(0);
+    prep.rx(1, 0.7);
+    prep.u3(2, 1.1, 0.3, -0.2);
+    for (const Gate &g :
+         {Gate(GateKind::CZ, 0, 2), Gate(GateKind::CCZ, 0, 1, 2),
+          Gate(GateKind::X, 1), Gate(GateKind::Z, 0), Gate(GateKind::Y, 2)}) {
+        StateVector fast(3);
+        fast.apply(prep);
+        fast.apply(g);
+
+        StateVector slow(3);
+        slow.apply(prep);
+        std::vector<Qubit> qs;
+        for (int i = 0; i < g.numQubits(); ++i)
+            qs.push_back(g.qubit(i));
+        slow.applyMatrix(g.matrix(), qs);
+
+        for (size_t i = 0; i < fast.dim(); ++i)
+            EXPECT_NEAR(std::abs(fast.amplitudes()[i] - slow.amplitudes()[i]),
+                        0.0, 1e-12) << g.toString();
+    }
+}
+
+TEST(StateVector, NonAdjacentQubitOperands)
+{
+    // CX between qubits 0 and 3 of a 4-qubit register.
+    StateVector sv(4);
+    sv.applyX(0);
+    sv.apply(Gate(GateKind::CX, 0, 3));
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0b1001]), 1.0, 1e-12);
+}
+
+TEST(StateVector, ReversedOperandOrderMatchesSwappedMatrix)
+{
+    // CP is symmetric: CP(a, b) == CP(b, a).
+    Circuit prep(2);
+    prep.h(0);
+    prep.h(1);
+    StateVector s1(2), s2(2);
+    s1.apply(prep);
+    s2.apply(prep);
+    s1.apply(Gate(GateKind::CP, 0, 1, 0.9));
+    s2.apply(Gate(GateKind::CP, 1, 0, 0.9));
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(std::abs(s1.amplitudes()[i] - s2.amplitudes()[i]), 0.0,
+                    1e-12);
+}
+
+TEST(StateVector, NormPreservedThroughLongRandomCircuit)
+{
+    Circuit c(4);
+    c.h(0);
+    for (int i = 0; i < 50; ++i) {
+        c.u3(i % 4, 0.1 * i, 0.2 * i, -0.3 * i);
+        c.cx(i % 4, (i + 1) % 4);
+        if (i % 3 == 0)
+            c.ccx(i % 4, (i + 1) % 4, (i + 2) % 4);
+    }
+    StateVector sv(4);
+    sv.apply(c);
+    EXPECT_NEAR(sv.normSquared(), 1.0, 1e-10);
+}
+
+TEST(StateVector, InnerProductOfOrthogonalStates)
+{
+    StateVector a(2, 0), b(2, 3);
+    EXPECT_NEAR(std::abs(a.innerProduct(b)), 0.0, 1e-15);
+    EXPECT_NEAR(std::abs(a.innerProduct(a)), 1.0, 1e-15);
+}
+
+TEST(UnitarySim, SingleGateMatchesGateMatrix)
+{
+    Circuit c(1);
+    c.u3(0, 0.4, 1.2, -0.8);
+    const auto u = circuitUnitary(c);
+    EXPECT_LT(u.maxAbsDiff(u3Matrix(0.4, 1.2, -0.8)), 1e-12);
+}
+
+TEST(UnitarySim, CircuitUnitaryIsUnitary)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.ccz(0, 1, 2);
+    c.rzz(1, 2, 0.7);
+    const auto u = circuitUnitary(c);
+    EXPECT_TRUE(u.isUnitary(1e-10));
+}
+
+TEST(UnitarySim, GateOrderMatters)
+{
+    Circuit ab(1), ba(1);
+    ab.h(0);
+    ab.t(0);
+    ba.t(0);
+    ba.h(0);
+    EXPECT_GT(circuitHsd(ab, ba), 0.01);
+}
+
+TEST(UnitarySim, HsdZeroForEquivalentCircuits)
+{
+    // HZH = X.
+    Circuit hzh(1), x(1);
+    hzh.h(0);
+    hzh.z(0);
+    hzh.h(0);
+    x.x(0);
+    EXPECT_NEAR(circuitHsd(hzh, x), 0.0, 1e-12);
+}
+
+TEST(UnitarySim, KroneckerStructureOfParallelGates)
+{
+    // Parallel H on both qubits = H (x) H.
+    Circuit c(2);
+    c.h(0);
+    c.h(1);
+    const Matrix h = Gate(GateKind::H, 0).matrix();
+    EXPECT_LT(circuitUnitary(c).maxAbsDiff(h.kron(h)), 1e-12);
+}
+
+}  // namespace
+}  // namespace geyser

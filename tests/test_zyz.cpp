@@ -1,0 +1,92 @@
+/**
+ * @file
+ * One-qubit resynthesis tests: U3 extraction from arbitrary 2x2
+ * unitaries, including the degenerate theta = 0 and theta = pi branches.
+ * Parameterized sweep over a grid of angles (property-style).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "circuit/gate.hpp"
+#include "transpile/zyz.hpp"
+
+namespace geyser {
+namespace {
+
+void
+expectRecovers(const Matrix &u)
+{
+    const U3Params p = u3FromMatrix(u);
+    const Matrix rebuilt =
+        u3Matrix(p.theta, p.phi, p.lambda) * std::exp(kI * p.phase);
+    EXPECT_LT(rebuilt.maxAbsDiff(u), 1e-10) << u.toString();
+}
+
+TEST(Zyz, RecoversNamedGates)
+{
+    for (const GateKind kind :
+         {GateKind::I, GateKind::X, GateKind::Y, GateKind::Z, GateKind::H,
+          GateKind::S, GateKind::SDG, GateKind::T, GateKind::TDG})
+        expectRecovers(Gate(kind, 0).matrix());
+}
+
+TEST(Zyz, RecoversRotationGates)
+{
+    for (const double angle : {-2.5, -0.3, 0.0, 0.7, 3.1}) {
+        expectRecovers(Gate(GateKind::RX, 0, angle).matrix());
+        expectRecovers(Gate(GateKind::RY, 0, angle).matrix());
+        expectRecovers(Gate(GateKind::RZ, 0, angle).matrix());
+        expectRecovers(Gate(GateKind::P, 0, angle).matrix());
+    }
+}
+
+TEST(Zyz, RejectsNonUnitary)
+{
+    Matrix bad{{1.0, 1.0}, {0.0, 1.0}};
+    EXPECT_THROW(u3FromMatrix(bad), std::invalid_argument);
+    EXPECT_THROW(u3FromMatrix(Matrix::identity(3)), std::invalid_argument);
+}
+
+TEST(Zyz, IdentityDetection)
+{
+    EXPECT_TRUE(isIdentityUpToPhase(Matrix::identity(2)));
+    EXPECT_TRUE(isIdentityUpToPhase(Matrix::identity(2) * std::exp(kI * 1.3)));
+    EXPECT_FALSE(isIdentityUpToPhase(Gate(GateKind::X, 0).matrix()));
+    EXPECT_FALSE(isIdentityUpToPhase(Gate(GateKind::Z, 0).matrix()));
+}
+
+TEST(Zyz, DiagonalDetection)
+{
+    EXPECT_TRUE(isDiagonal(Gate(GateKind::Z, 0).matrix()));
+    EXPECT_TRUE(isDiagonal(Gate(GateKind::T, 0).matrix()));
+    EXPECT_TRUE(isDiagonal(Gate(GateKind::RZ, 0, 0.7).matrix()));
+    EXPECT_FALSE(isDiagonal(Gate(GateKind::H, 0).matrix()));
+    EXPECT_FALSE(isDiagonal(Gate(GateKind::RX, 0, 0.1).matrix()));
+}
+
+/** Property sweep: every U3(theta, phi, lambda) round-trips. */
+class ZyzSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(ZyzSweep, RoundTripsArbitraryU3)
+{
+    const auto [theta, phi, lambda] = GetParam();
+    const Matrix u = u3Matrix(theta, phi, lambda);
+    expectRecovers(u);
+    // And the product of two such gates round-trips too.
+    expectRecovers(u * u3Matrix(lambda, theta, phi));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AngleGrid, ZyzSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.9, kPi / 2, kPi - 1e-9, kPi,
+                                         2.1, 2 * kPi),
+                       ::testing::Values(0.0, 1.3, -2.2),
+                       ::testing::Values(0.0, 0.4, 5.9)));
+
+}  // namespace
+}  // namespace geyser

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * geyserc — the command-line compiler driver: reads an OpenQASM 2.0
+ * program, compiles it for a neutral-atom machine with the selected
+ * technique, and writes the compiled circuit (QASM or native text) plus
+ * a statistics summary.
+ *
+ * Usage:
+ *   geyserc [options] <input.qasm>
+ *   geyserc --benchmark <name>         (compile a built-in benchmark)
+ *
+ * Options:
+ *   --technique baseline|optimap|geyser|superconducting   (default geyser)
+ *   --output <file>        write the compiled circuit (default stdout)
+ *   --format qasm|text     output format (default qasm)
+ *   --evaluate             also report ideal-equivalence and noisy TVD
+ *   --draw                 print the compiled circuit as ASCII art
+ *   --pulses               print the lowered laser-pulse program
+ *   --noise <rate>         error rate for --evaluate (default 0.001)
+ *   --trajectories <n>     trajectories for --evaluate (default 200)
+ *   --quiet                suppress the statistics summary
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "algos/suite.hpp"
+#include "circuit/draw.hpp"
+#include "geyser/pipeline.hpp"
+#include "io/qasm_parser.hpp"
+#include "io/serialize.hpp"
+#include "pulse/pulse.hpp"
+
+using namespace geyser;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options] <input.qasm>\n"
+                 "       %s --benchmark <name> [options]\n"
+                 "options:\n"
+                 "  --technique baseline|optimap|geyser|superconducting\n"
+                 "  --output <file>   --format qasm|text\n"
+                 "  --evaluate        --noise <rate>  --trajectories <n>\n"
+                 "  --quiet\n",
+                 argv0, argv0);
+    std::exit(2);
+}
+
+Technique
+parseTechnique(const std::string &name)
+{
+    if (name == "baseline")
+        return Technique::Baseline;
+    if (name == "optimap")
+        return Technique::OptiMap;
+    if (name == "geyser")
+        return Technique::Geyser;
+    if (name == "superconducting")
+        return Technique::Superconducting;
+    throw std::invalid_argument("unknown technique: " + name);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input, benchmark, output, format = "qasm";
+    Technique technique = Technique::Geyser;
+    bool evaluate = false, quiet = false, draw = false, pulses = false;
+    double noiseRate = 0.001;
+    int trajectories = 200;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (++i >= argc)
+                    usage(argv[0]);
+                return argv[i];
+            };
+            if (arg == "--technique")
+                technique = parseTechnique(next());
+            else if (arg == "--benchmark")
+                benchmark = next();
+            else if (arg == "--output")
+                output = next();
+            else if (arg == "--format")
+                format = next();
+            else if (arg == "--evaluate")
+                evaluate = true;
+            else if (arg == "--draw")
+                draw = true;
+            else if (arg == "--pulses")
+                pulses = true;
+            else if (arg == "--noise")
+                noiseRate = std::stod(next());
+            else if (arg == "--trajectories")
+                trajectories = std::stoi(next());
+            else if (arg == "--quiet")
+                quiet = true;
+            else if (arg == "--help" || arg == "-h")
+                usage(argv[0]);
+            else if (!arg.empty() && arg[0] == '-')
+                usage(argv[0]);
+            else
+                input = arg;
+        }
+        if (format != "qasm" && format != "text")
+            usage(argv[0]);
+        if (input.empty() == benchmark.empty())
+            usage(argv[0]);  // Exactly one source.
+
+        Circuit logical;
+        if (!benchmark.empty()) {
+            logical = benchmarkByName(benchmark).make();
+        } else {
+            std::ifstream in(input);
+            if (!in) {
+                std::fprintf(stderr, "geyserc: cannot open %s\n",
+                             input.c_str());
+                return 1;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            logical = circuitFromQasm(text.str());
+        }
+
+        const CompileResult result = compile(technique, logical);
+
+        const std::string compiled = format == "qasm"
+                                         ? circuitToQasm(result.physical)
+                                         : circuitToText(result.physical);
+        if (output.empty()) {
+            std::fputs(compiled.c_str(), stdout);
+        } else {
+            std::ofstream out(output);
+            if (!out) {
+                std::fprintf(stderr, "geyserc: cannot write %s\n",
+                             output.c_str());
+                return 1;
+            }
+            out << compiled;
+        }
+
+        if (!quiet) {
+            std::fprintf(stderr,
+                         "technique:     %s\n"
+                         "topology:      %s\n"
+                         "gates:         %d u3, %d cz, %d ccz\n"
+                         "total pulses:  %ld\n"
+                         "depth pulses:  %ld\n"
+                         "swaps:         %d\n",
+                         techniqueName(result.technique),
+                         result.topology.name().c_str(), result.stats.u3Count,
+                         result.stats.czCount, result.stats.cczCount,
+                         result.stats.totalPulses, result.stats.depthPulses,
+                         result.swapsInserted);
+            if (technique == Technique::Geyser)
+                std::fprintf(stderr, "blocks:        %d (%d composed)\n",
+                             result.blockCount, result.composedBlockCount);
+        }
+        if (draw)
+            std::fprintf(stderr, "%s", drawCircuit(result.physical,
+                                                   40).c_str());
+        if (pulses) {
+            const Schedule sched = scheduleRestrictionAware(
+                result.physical, result.topology);
+            std::fprintf(stderr, "%s",
+                         lowerToPulses(result.physical, sched)
+                             .toString().c_str());
+        }
+        if (evaluate) {
+            TrajectoryConfig cfg;
+            cfg.trajectories = trajectories;
+            std::fprintf(stderr, "ideal TVD:     %.3e\n", idealTvd(result));
+            std::fprintf(stderr, "noisy TVD:     %.4f (rate %.4g)\n",
+                         evaluateTvd(result, NoiseModel::withRate(noiseRate),
+                                     cfg),
+                         noiseRate);
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "geyserc: %s\n", e.what());
+        return 1;
+    }
+}
