@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_atomloss.dir/bench_ablation_atomloss.cpp.o"
+  "CMakeFiles/bench_ablation_atomloss.dir/bench_ablation_atomloss.cpp.o.d"
+  "bench_ablation_atomloss"
+  "bench_ablation_atomloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_atomloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

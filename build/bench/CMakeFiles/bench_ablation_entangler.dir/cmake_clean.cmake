@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_entangler.dir/bench_ablation_entangler.cpp.o"
+  "CMakeFiles/bench_ablation_entangler.dir/bench_ablation_entangler.cpp.o.d"
+  "bench_ablation_entangler"
+  "bench_ablation_entangler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_entangler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

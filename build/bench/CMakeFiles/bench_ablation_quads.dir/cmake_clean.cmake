@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quads.dir/bench_ablation_quads.cpp.o"
+  "CMakeFiles/bench_ablation_quads.dir/bench_ablation_quads.cpp.o.d"
+  "bench_ablation_quads"
+  "bench_ablation_quads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fidelity_check.dir/bench_fidelity_check.cpp.o"
+  "CMakeFiles/bench_fidelity_check.dir/bench_fidelity_check.cpp.o.d"
+  "bench_fidelity_check"
+  "bench_fidelity_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fidelity_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_pulses.dir/bench_fig12_pulses.cpp.o"
+  "CMakeFiles/bench_fig12_pulses.dir/bench_fig12_pulses.cpp.o.d"
+  "bench_fig12_pulses"
+  "bench_fig12_pulses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pulses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

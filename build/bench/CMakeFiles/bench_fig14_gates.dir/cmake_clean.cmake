@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_gates.dir/bench_fig14_gates.cpp.o"
+  "CMakeFiles/bench_fig14_gates.dir/bench_fig14_gates.cpp.o.d"
+  "bench_fig14_gates"
+  "bench_fig14_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

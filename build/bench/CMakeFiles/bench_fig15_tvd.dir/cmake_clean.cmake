@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_tvd.dir/bench_fig15_tvd.cpp.o"
+  "CMakeFiles/bench_fig15_tvd.dir/bench_fig15_tvd.cpp.o.d"
+  "bench_fig15_tvd"
+  "bench_fig15_tvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_tvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

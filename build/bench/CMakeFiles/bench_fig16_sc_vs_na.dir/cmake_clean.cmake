@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_sc_vs_na.dir/bench_fig16_sc_vs_na.cpp.o"
+  "CMakeFiles/bench_fig16_sc_vs_na.dir/bench_fig16_sc_vs_na.cpp.o.d"
+  "bench_fig16_sc_vs_na"
+  "bench_fig16_sc_vs_na.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_sc_vs_na.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

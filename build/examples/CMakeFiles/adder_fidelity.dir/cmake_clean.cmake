@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_fidelity.dir/adder_fidelity.cpp.o"
+  "CMakeFiles/adder_fidelity.dir/adder_fidelity.cpp.o.d"
+  "adder_fidelity"
+  "adder_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

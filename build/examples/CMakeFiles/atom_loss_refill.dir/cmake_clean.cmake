@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_loss_refill.dir/atom_loss_refill.cpp.o"
+  "CMakeFiles/atom_loss_refill.dir/atom_loss_refill.cpp.o.d"
+  "atom_loss_refill"
+  "atom_loss_refill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_loss_refill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for atom_loss_refill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for atom_loss_refill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_qasm.dir/export_qasm.cpp.o"
+  "CMakeFiles/export_qasm.dir/export_qasm.cpp.o.d"
+  "export_qasm"
+  "export_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

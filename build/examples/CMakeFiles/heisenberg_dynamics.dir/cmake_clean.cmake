@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heisenberg_dynamics.dir/heisenberg_dynamics.cpp.o"
+  "CMakeFiles/heisenberg_dynamics.dir/heisenberg_dynamics.cpp.o.d"
+  "heisenberg_dynamics"
+  "heisenberg_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heisenberg_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

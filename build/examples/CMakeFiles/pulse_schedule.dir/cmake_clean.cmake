@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_schedule.dir/pulse_schedule.cpp.o"
+  "CMakeFiles/pulse_schedule.dir/pulse_schedule.cpp.o.d"
+  "pulse_schedule"
+  "pulse_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

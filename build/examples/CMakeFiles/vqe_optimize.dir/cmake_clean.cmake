@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_optimize.dir/vqe_optimize.cpp.o"
+  "CMakeFiles/vqe_optimize.dir/vqe_optimize.cpp.o.d"
+  "vqe_optimize"
+  "vqe_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/adder.cpp" "src/CMakeFiles/geyser.dir/algos/adder.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/algos/adder.cpp.o.d"
+  "/root/repo/src/algos/advantage.cpp" "src/CMakeFiles/geyser.dir/algos/advantage.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/algos/advantage.cpp.o.d"
+  "/root/repo/src/algos/extra.cpp" "src/CMakeFiles/geyser.dir/algos/extra.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/algos/extra.cpp.o.d"
+  "/root/repo/src/algos/heisenberg.cpp" "src/CMakeFiles/geyser.dir/algos/heisenberg.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/algos/heisenberg.cpp.o.d"
+  "/root/repo/src/algos/multiplier.cpp" "src/CMakeFiles/geyser.dir/algos/multiplier.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/algos/multiplier.cpp.o.d"
+  "/root/repo/src/algos/qaoa.cpp" "src/CMakeFiles/geyser.dir/algos/qaoa.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/algos/qaoa.cpp.o.d"
+  "/root/repo/src/algos/qft.cpp" "src/CMakeFiles/geyser.dir/algos/qft.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/algos/qft.cpp.o.d"
+  "/root/repo/src/algos/suite.cpp" "src/CMakeFiles/geyser.dir/algos/suite.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/algos/suite.cpp.o.d"
+  "/root/repo/src/algos/vqe.cpp" "src/CMakeFiles/geyser.dir/algos/vqe.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/algos/vqe.cpp.o.d"
+  "/root/repo/src/blocking/block.cpp" "src/CMakeFiles/geyser.dir/blocking/block.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/blocking/block.cpp.o.d"
+  "/root/repo/src/blocking/blocker.cpp" "src/CMakeFiles/geyser.dir/blocking/blocker.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/blocking/blocker.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/geyser.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/draw.cpp" "src/CMakeFiles/geyser.dir/circuit/draw.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/circuit/draw.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/CMakeFiles/geyser.dir/circuit/gate.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/circuit/gate.cpp.o.d"
+  "/root/repo/src/circuit/schedule.cpp" "src/CMakeFiles/geyser.dir/circuit/schedule.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/circuit/schedule.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/geyser.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/geyser.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/compose/ansatz.cpp" "src/CMakeFiles/geyser.dir/compose/ansatz.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/compose/ansatz.cpp.o.d"
+  "/root/repo/src/compose/composer.cpp" "src/CMakeFiles/geyser.dir/compose/composer.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/compose/composer.cpp.o.d"
+  "/root/repo/src/geyser/pipeline.cpp" "src/CMakeFiles/geyser.dir/geyser/pipeline.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/geyser/pipeline.cpp.o.d"
+  "/root/repo/src/io/qasm_parser.cpp" "src/CMakeFiles/geyser.dir/io/qasm_parser.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/io/qasm_parser.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/geyser.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/geyser.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/metrics/fidelity_model.cpp" "src/CMakeFiles/geyser.dir/metrics/fidelity_model.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/metrics/fidelity_model.cpp.o.d"
+  "/root/repo/src/metrics/metrics.cpp" "src/CMakeFiles/geyser.dir/metrics/metrics.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/metrics/metrics.cpp.o.d"
+  "/root/repo/src/metrics/observable.cpp" "src/CMakeFiles/geyser.dir/metrics/observable.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/metrics/observable.cpp.o.d"
+  "/root/repo/src/opt/dual_annealing.cpp" "src/CMakeFiles/geyser.dir/opt/dual_annealing.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/opt/dual_annealing.cpp.o.d"
+  "/root/repo/src/opt/nelder_mead.cpp" "src/CMakeFiles/geyser.dir/opt/nelder_mead.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/opt/nelder_mead.cpp.o.d"
+  "/root/repo/src/pulse/pulse.cpp" "src/CMakeFiles/geyser.dir/pulse/pulse.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/pulse/pulse.cpp.o.d"
+  "/root/repo/src/sim/density_matrix.cpp" "src/CMakeFiles/geyser.dir/sim/density_matrix.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/sim/density_matrix.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/CMakeFiles/geyser.dir/sim/noise.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/sim/noise.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/CMakeFiles/geyser.dir/sim/statevector.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/sim/statevector.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "src/CMakeFiles/geyser.dir/sim/trajectory.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/sim/trajectory.cpp.o.d"
+  "/root/repo/src/sim/unitary_sim.cpp" "src/CMakeFiles/geyser.dir/sim/unitary_sim.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/sim/unitary_sim.cpp.o.d"
+  "/root/repo/src/topology/rearrange.cpp" "src/CMakeFiles/geyser.dir/topology/rearrange.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/topology/rearrange.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/geyser.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/topology/topology.cpp.o.d"
+  "/root/repo/src/transpile/basis.cpp" "src/CMakeFiles/geyser.dir/transpile/basis.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/transpile/basis.cpp.o.d"
+  "/root/repo/src/transpile/passes.cpp" "src/CMakeFiles/geyser.dir/transpile/passes.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/transpile/passes.cpp.o.d"
+  "/root/repo/src/transpile/router.cpp" "src/CMakeFiles/geyser.dir/transpile/router.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/transpile/router.cpp.o.d"
+  "/root/repo/src/transpile/sabre.cpp" "src/CMakeFiles/geyser.dir/transpile/sabre.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/transpile/sabre.cpp.o.d"
+  "/root/repo/src/transpile/zyz.cpp" "src/CMakeFiles/geyser.dir/transpile/zyz.cpp.o" "gcc" "src/CMakeFiles/geyser.dir/transpile/zyz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

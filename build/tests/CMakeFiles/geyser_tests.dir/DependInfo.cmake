@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_algos.cpp" "tests/CMakeFiles/geyser_tests.dir/test_algos.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_algos.cpp.o.d"
+  "/root/repo/tests/test_ansatz.cpp" "tests/CMakeFiles/geyser_tests.dir/test_ansatz.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_ansatz.cpp.o.d"
+  "/root/repo/tests/test_ansatz4.cpp" "tests/CMakeFiles/geyser_tests.dir/test_ansatz4.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_ansatz4.cpp.o.d"
+  "/root/repo/tests/test_atomloss.cpp" "tests/CMakeFiles/geyser_tests.dir/test_atomloss.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_atomloss.cpp.o.d"
+  "/root/repo/tests/test_basis.cpp" "tests/CMakeFiles/geyser_tests.dir/test_basis.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_basis.cpp.o.d"
+  "/root/repo/tests/test_blocking.cpp" "tests/CMakeFiles/geyser_tests.dir/test_blocking.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_blocking.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/geyser_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/geyser_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_compose_extended.cpp" "tests/CMakeFiles/geyser_tests.dir/test_compose_extended.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_compose_extended.cpp.o.d"
+  "/root/repo/tests/test_composer.cpp" "tests/CMakeFiles/geyser_tests.dir/test_composer.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_composer.cpp.o.d"
+  "/root/repo/tests/test_crossmodule.cpp" "tests/CMakeFiles/geyser_tests.dir/test_crossmodule.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_crossmodule.cpp.o.d"
+  "/root/repo/tests/test_crosstalk.cpp" "tests/CMakeFiles/geyser_tests.dir/test_crosstalk.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_crosstalk.cpp.o.d"
+  "/root/repo/tests/test_density_matrix.cpp" "tests/CMakeFiles/geyser_tests.dir/test_density_matrix.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_density_matrix.cpp.o.d"
+  "/root/repo/tests/test_draw.cpp" "tests/CMakeFiles/geyser_tests.dir/test_draw.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_draw.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/geyser_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_extra_algos.cpp" "tests/CMakeFiles/geyser_tests.dir/test_extra_algos.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_extra_algos.cpp.o.d"
+  "/root/repo/tests/test_fidelity_model.cpp" "tests/CMakeFiles/geyser_tests.dir/test_fidelity_model.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_fidelity_model.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/geyser_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gate.cpp" "tests/CMakeFiles/geyser_tests.dir/test_gate.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_gate.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/geyser_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/geyser_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/geyser_tests.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/geyser_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_noise.cpp" "tests/CMakeFiles/geyser_tests.dir/test_noise.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_noise.cpp.o.d"
+  "/root/repo/tests/test_observable.cpp" "tests/CMakeFiles/geyser_tests.dir/test_observable.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_observable.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/geyser_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_passes.cpp" "tests/CMakeFiles/geyser_tests.dir/test_passes.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_passes.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/geyser_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_pulse.cpp" "tests/CMakeFiles/geyser_tests.dir/test_pulse.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_pulse.cpp.o.d"
+  "/root/repo/tests/test_qasm_parser.cpp" "tests/CMakeFiles/geyser_tests.dir/test_qasm_parser.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_qasm_parser.cpp.o.d"
+  "/root/repo/tests/test_rearrange.cpp" "tests/CMakeFiles/geyser_tests.dir/test_rearrange.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_rearrange.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/geyser_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_sabre.cpp" "tests/CMakeFiles/geyser_tests.dir/test_sabre.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_sabre.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/geyser_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_statevector.cpp" "tests/CMakeFiles/geyser_tests.dir/test_statevector.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_statevector.cpp.o.d"
+  "/root/repo/tests/test_suite_properties.cpp" "tests/CMakeFiles/geyser_tests.dir/test_suite_properties.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_suite_properties.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/geyser_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_zyz.cpp" "tests/CMakeFiles/geyser_tests.dir/test_zyz.cpp.o" "gcc" "tests/CMakeFiles/geyser_tests.dir/test_zyz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geyser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

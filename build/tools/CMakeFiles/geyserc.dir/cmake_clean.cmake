@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geyserc.dir/geyserc.cpp.o"
+  "CMakeFiles/geyserc.dir/geyserc.cpp.o.d"
+  "geyserc"
+  "geyserc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geyserc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

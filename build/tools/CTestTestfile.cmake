@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(geyserc_benchmark_compile "/root/repo/build/tools/geyserc" "--benchmark" "qaoa-5" "--quiet" "--output" "/dev/null")
+set_tests_properties(geyserc_benchmark_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(geyserc_text_format "/root/repo/build/tools/geyserc" "--benchmark" "adder-4" "--technique" "optimap" "--format" "text" "--quiet" "--output" "/dev/null")
+set_tests_properties(geyserc_text_format PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(geyserc_rejects_bad_args "/root/repo/build/tools/geyserc" "--bogus")
+set_tests_properties(geyserc_rejects_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(geyserc_rejects_missing_file "/root/repo/build/tools/geyserc" "/nonexistent.qasm")
+set_tests_properties(geyserc_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
