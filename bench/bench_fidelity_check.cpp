@@ -3,10 +3,14 @@
  * Reproduces the paper's Sec 6 circuit-fidelity sanity check: the TVD
  * between the ideal output of the Geyser-compiled circuit and the ideal
  * output of the original program is practically negligible (< 1e-2).
+ * The comparison itself runs through the shared differential-verification
+ * layer (src/verify), the same code path tests and `geyserc --verify`
+ * use.
  */
 #include <cstdio>
 
 #include "common.hpp"
+#include "verify/equivalence.hpp"
 
 using namespace geyser;
 using namespace geyser::bench;
@@ -15,18 +19,22 @@ int
 main()
 {
     std::printf("Sec 6: ideal-output TVD of Geyser circuits vs original\n\n");
-    const std::vector<int> widths{14, 12, 12, 12};
-    printRow({"Benchmark", "Ideal TVD", "Max block HSD", "Composed"},
+    const std::vector<int> widths{14, 12, 12, 12, 12};
+    printRow({"Benchmark", "Verdict", "Ideal TVD", "Max block HSD",
+              "Composed"},
              widths);
     printRule(widths);
     bool allOk = true;
+    verify::EquivalenceOptions eo;
+    eo.tvdTolerance = 1e-2;  // Paper Sec 6 bound.
     for (const auto &spec : tvdSuite()) {
         const auto gey = compileCached(spec, Technique::Geyser);
-        const double tvd = idealTvd(gey);
-        allOk = allOk && tvd < 1e-2;
+        const auto report = verify::checkCompileResult(gey, eo);
+        allOk = allOk && report.equivalent;
         char hsd[32];
         std::snprintf(hsd, sizeof(hsd), "%.1e", gey.maxBlockHsd);
-        printRow({spec.name, fmtTvd(tvd), hsd,
+        printRow({spec.name, report.equivalent ? "PASS" : "FAIL",
+                  fmtTvd(report.tvd), hsd,
                   fmtLong(gey.composedBlockCount) + "/" +
                       fmtLong(gey.blockCount)},
                  widths);

@@ -1,0 +1,13 @@
+// A Toffoli chain over 4 qubits — exercises CCX lowering, routing on
+// the triangular lattice, and Geyser's 3-qubit block composition.
+// Try: geyserc --verify examples/toffoli_chain.qasm
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+h q[1];
+ccx q[0],q[1],q[2];
+t q[2];
+ccx q[1],q[2],q[3];
+h q[3];
+cz q[0],q[3];

@@ -11,27 +11,16 @@
 #include "opt/dual_annealing.hpp"
 #include "sim/unitary_sim.hpp"
 #include "transpile/zyz.hpp"
+#include "verify/equivalence.hpp"
 
 namespace geyser {
 
+// The HSD objective helpers live in the verification layer now, shared
+// with the equivalence checkers.
+using verify::hsdFromTrace;
+using verify::overlapTrace;
+
 namespace {
-
-/** Tr(target^dagger U) as a complex number. */
-Complex
-overlapTrace(const Matrix &target, const Matrix &u)
-{
-    Complex t{};
-    for (int i = 0; i < target.rows(); ++i)
-        for (int j = 0; j < target.cols(); ++j)
-            t += std::conj(target(i, j)) * u(i, j);
-    return t;
-}
-
-double
-hsdFromTrace(Complex t, int dim)
-{
-    return 1.0 - std::abs(t) / static_cast<double>(dim);
-}
 
 /** Exact resynthesis of a block with no entangling gates. */
 ComposeResult

@@ -10,6 +10,7 @@
 #include "transpile/passes.hpp"
 #include "transpile/router.hpp"
 #include "transpile/sabre.hpp"
+#include "verify/equivalence.hpp"
 
 namespace geyser {
 
@@ -31,10 +32,49 @@ techniqueName(Technique technique)
 
 namespace {
 
+verify::EquivalenceOptions
+verifyOptionsFrom(const PipelineOptions &options)
+{
+    verify::EquivalenceOptions eo;
+    eo.unitaryTolerance = options.verifyUnitaryTolerance;
+    eo.tvdTolerance = options.verifyTvdTolerance;
+    eo.maxUnitaryQubits = options.verifyMaxUnitaryQubits;
+    return eo;
+}
+
+/** Throw VerificationError if `candidate` diverged from `reference`. */
+void
+verifyStage(const PipelineOptions &options, const char *stage,
+            const Circuit &reference, const Circuit &candidate)
+{
+    if (!options.verifyEquivalence)
+        return;
+    const auto report =
+        verify::checkUnitary(reference, candidate, verifyOptionsFrom(options));
+    if (!report.equivalent)
+        throw verify::VerificationError(std::string(stage) +
+                                        " diverged: " + report.detail);
+}
+
+/** Layout-aware variant for routed candidates. */
+void
+verifyRoutedStage(const PipelineOptions &options, const char *stage,
+                  const Circuit &reference, const RoutedCircuit &routed)
+{
+    if (!options.verifyEquivalence)
+        return;
+    const auto report =
+        verify::checkRouted(reference, routed.circuit, routed.initialLayout,
+                            routed.finalLayout, verifyOptionsFrom(options));
+    if (!report.equivalent)
+        throw verify::VerificationError(std::string(stage) +
+                                        " diverged: " + report.detail);
+}
+
 /** Shared mapping step: lower, (optionally) optimize, route, re-optimize. */
 CompileResult
 mapCircuit(Technique technique, const Circuit &logical, const Topology &topo,
-           bool optimized)
+           bool optimized, const PipelineOptions &options)
 {
     CompileResult result;
     result.technique = technique;
@@ -42,31 +82,56 @@ mapCircuit(Technique technique, const Circuit &logical, const Topology &topo,
     result.topology = topo;
 
     Circuit physical = decomposeToBasis(logical);
-    if (optimized)
+    verifyStage(options, "basis translation", logical, physical);
+    if (optimized) {
         optimize(physical);
+        verifyStage(options, "pre-routing optimization", logical, physical);
+    }
     // Baseline routes from the trivial layout ("no mapping
     // optimizations"); the optimizing techniques try several routing
     // strategies (trivial walk, interaction-aware greedy layout, SABRE
     // lookahead) and keep the cheapest result.
     RoutedCircuit routed = route(physical, topo);
+    verifyRoutedStage(options, "routing (trivial walk)", physical, routed);
     if (optimized) {
         optimize(routed.circuit);
+        verifyRoutedStage(options, "post-routing optimization", physical,
+                          routed);
         const auto greedyLayout = chooseInitialLayout(physical, topo);
         RoutedCircuit candidates[] = {
             route(physical, topo, greedyLayout),
             routeSabre(physical, topo, greedyLayout),
         };
-        for (auto &candidate : candidates) {
+        const char *names[] = {"routing (greedy layout)", "routing (SABRE)"};
+        for (size_t ci = 0; ci < 2; ++ci) {
+            auto &candidate = candidates[ci];
             optimize(candidate.circuit);
+            verifyRoutedStage(options, names[ci], physical, candidate);
             if (candidate.circuit.totalPulses() <
                 routed.circuit.totalPulses())
                 routed = std::move(candidate);
         }
     }
     result.physical = std::move(routed.circuit);
+    result.initialLayout = std::move(routed.initialLayout);
     result.finalLayout = std::move(routed.finalLayout);
     result.swapsInserted = routed.swapsInserted;
     return result;
+}
+
+/** Final whole-result check (distribution-level for Geyser). */
+void
+verifyResult(const PipelineOptions &options, const CompileResult &result)
+{
+    if (!options.verifyEquivalence)
+        return;
+    const auto report =
+        verify::checkCompileResult(result, verifyOptionsFrom(options));
+    if (!report.equivalent)
+        throw verify::VerificationError(
+            std::string(techniqueName(result.technique)) +
+            " compilation diverged (" + report.method +
+            "): " + report.detail);
 }
 
 void
@@ -85,32 +150,36 @@ fillStats(CompileResult &result)
 }  // namespace
 
 CompileResult
-compileBaseline(const Circuit &logical, const PipelineOptions &)
+compileBaseline(const Circuit &logical, const PipelineOptions &options)
 {
     CompileResult result =
         mapCircuit(Technique::Baseline, logical,
-                   Topology::forQubits(logical.numQubits()), false);
+                   Topology::forQubits(logical.numQubits()), false, options);
     fillStats(result);
+    verifyResult(options, result);
     return result;
 }
 
 CompileResult
-compileOptiMap(const Circuit &logical, const PipelineOptions &)
+compileOptiMap(const Circuit &logical, const PipelineOptions &options)
 {
     CompileResult result =
         mapCircuit(Technique::OptiMap, logical,
-                   Topology::forQubits(logical.numQubits()), true);
+                   Topology::forQubits(logical.numQubits()), true, options);
     fillStats(result);
+    verifyResult(options, result);
     return result;
 }
 
 CompileResult
-compileSuperconducting(const Circuit &logical, const PipelineOptions &)
+compileSuperconducting(const Circuit &logical, const PipelineOptions &options)
 {
     CompileResult result =
         mapCircuit(Technique::Superconducting, logical,
-                   Topology::squareForQubits(logical.numQubits()), true);
+                   Topology::squareForQubits(logical.numQubits()), true,
+                   options);
     fillStats(result);
+    verifyResult(options, result);
     return result;
 }
 
@@ -119,7 +188,7 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
 {
     CompileResult result =
         mapCircuit(Technique::Geyser, logical,
-                   Topology::forQubits(logical.numQubits()), true);
+                   Topology::forQubits(logical.numQubits()), true, options);
 
     // Blocking (Algorithm 1).
     BlockedCircuit blocked =
@@ -166,6 +235,7 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
     if (result.composedBlockCount > 0)
         result.physical = std::move(out);
     fillStats(result);
+    verifyResult(options, result);
     return result;
 }
 

@@ -42,6 +42,22 @@ struct PipelineOptions
     ComposeOptions compose;
     /** Compose blocks concurrently on the global thread pool. */
     bool parallelCompose = true;
+    /**
+     * Differentially verify every transpiler stage (basis translation,
+     * optimization, each routing candidate) and the final result against
+     * the logical source, throwing verify::VerificationError on the
+     * first divergence. Exact stages are checked at the unitary level up
+     * to global phase (layout-aware once routed); the approximate Geyser
+     * composition is checked against the distribution bound. Costs an
+     * extra simulation per stage — an opt-in self-check, not a default.
+     */
+    bool verifyEquivalence = false;
+    /** HSD bound for the exact-stage checks when verifying. */
+    double verifyUnitaryTolerance = 1e-8;
+    /** TVD bound for the composed-circuit check when verifying. */
+    double verifyTvdTolerance = 1e-2;
+    /** Widest circuit verified at the unitary level (else distribution). */
+    int verifyMaxUnitaryQubits = 10;
 };
 
 /** Everything the benches report about one compiled circuit. */
@@ -51,6 +67,7 @@ struct CompileResult
     Circuit logical;                ///< The input program.
     Circuit physical;               ///< Final circuit over atom indices.
     Topology topology;              ///< The atom arrangement used.
+    std::vector<Qubit> initialLayout; ///< logical qubit -> atom at entry.
     std::vector<Qubit> finalLayout; ///< logical qubit -> atom after routing.
     CircuitStats stats;             ///< Counts; depth is restriction-aware.
     int swapsInserted = 0;

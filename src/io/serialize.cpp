@@ -143,6 +143,10 @@ saveCompileResult(const std::string &path, const CompileResult &result)
     for (const Qubit q : result.finalLayout)
         out << " " << q;
     out << "\n";
+    out << "ilayout";
+    for (const Qubit q : result.initialLayout)
+        out << " " << q;
+    out << "\n";
     out << "endheader\n";
     out << circuitToText(result.physical);
 }
@@ -180,6 +184,12 @@ loadCompileResult(const std::string &path, const Circuit &logical)
                 Qubit q;
                 while (ls >> q)
                     result.finalLayout.push_back(q);
+            } else if (key == "ilayout") {
+                std::getline(in, line);
+                std::istringstream ls(line);
+                Qubit q;
+                while (ls >> q)
+                    result.initialLayout.push_back(q);
             } else {
                 return std::nullopt;
             }

@@ -1,6 +1,6 @@
 #include "sim/trajectory.hpp"
 
-#include <mutex>
+#include <algorithm>
 
 #include "common/thread_pool.hpp"
 #include "metrics/metrics.hpp"
@@ -75,7 +75,7 @@ noisyDistribution(const Circuit &circuit, const NoiseModel &noise,
                   const TrajectoryConfig &config)
 {
     const size_t dim = size_t{1} << circuit.numQubits();
-    if (noise.isNoiseless())
+    if (noise.isNoiseless() && !config.forceTrajectories)
         return idealDistribution(circuit);
 
     const int traj = std::max(1, config.trajectories);
@@ -93,27 +93,31 @@ noisyDistribution(const Circuit &circuit, const NoiseModel &noise,
             zones[gi] = config.topology->restrictionZone(involved);
         }
     }
-    Distribution total(dim, 0.0);
-    if (config.parallel && traj > 1) {
-        auto &pool = globalPool();
-        const int workers = pool.size();
-        std::vector<Distribution> partial(
-            static_cast<size_t>(workers), Distribution(dim, 0.0));
-        pool.parallelFor(workers, [&](int w) {
-            for (int t = w; t < traj; t += workers)
-                accumulateTrajectory(circuit, noise, zones,
-                                     config.seed + static_cast<uint64_t>(t),
-                                     partial[static_cast<size_t>(w)]);
-        });
-        for (const auto &p : partial)
-            for (size_t i = 0; i < dim; ++i)
-                total[i] += p[i];
-    } else {
-        for (int t = 0; t < traj; ++t)
+    // Trajectories accumulate in fixed-size chunks and the chunk sums
+    // combine in chunk order, so serial and parallel runs (on any worker
+    // count) produce bit-identical distributions for the same seed.
+    constexpr int kChunk = 16;
+    const int chunks = (traj + kChunk - 1) / kChunk;
+    std::vector<Distribution> partial(static_cast<size_t>(chunks),
+                                      Distribution(dim, 0.0));
+    auto runChunk = [&](int c) {
+        const int begin = c * kChunk;
+        const int end = std::min(traj, begin + kChunk);
+        for (int t = begin; t < end; ++t)
             accumulateTrajectory(circuit, noise, zones,
                                  config.seed + static_cast<uint64_t>(t),
-                                 total);
+                                 partial[static_cast<size_t>(c)]);
+    };
+    if (config.parallel && chunks > 1) {
+        globalPool().parallelFor(chunks, runChunk);
+    } else {
+        for (int c = 0; c < chunks; ++c)
+            runChunk(c);
     }
+    Distribution total(dim, 0.0);
+    for (const auto &p : partial)
+        for (size_t i = 0; i < dim; ++i)
+            total[i] += p[i];
     for (auto &v : total)
         v /= traj;
     return total;

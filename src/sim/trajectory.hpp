@@ -21,7 +21,13 @@ struct TrajectoryConfig
 {
     int trajectories = 200;
     uint64_t seed = 1234;
-    /** Use the global thread pool to run trajectories in parallel. */
+    /**
+     * Use the global thread pool to run trajectories in parallel.
+     * Results are bit-identical to the serial path: trajectories are
+     * accumulated in fixed-size chunks whose partial sums are combined
+     * in chunk order, so the floating-point reduction order never
+     * depends on this flag or on the worker count.
+     */
     bool parallel = true;
     /**
      * Atom arrangement, needed only when the noise model enables
@@ -29,6 +35,12 @@ struct TrajectoryConfig
      * outlive the simulation call.
      */
     const Topology *topology = nullptr;
+    /**
+     * Run the trajectory loop even when the noise model is noiseless
+     * (normally short-circuited to the statevector output). Used by the
+     * differential verifier to cross-check the trajectory engine itself.
+     */
+    bool forceTrajectories = false;
 };
 
 /**

@@ -1,0 +1,179 @@
+#include "verify/differential.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "metrics/metrics.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
+#include "sim/trajectory.hpp"
+
+namespace geyser {
+namespace verify {
+
+namespace {
+
+/** Worst per-outcome probability gap. */
+double
+maxAbsGap(const Distribution &p, const Distribution &q)
+{
+    double gap = 0.0;
+    for (size_t k = 0; k < p.size(); ++k)
+        gap = std::max(gap, std::abs(p[k] - q[k]));
+    return gap;
+}
+
+Distribution
+noiselessTrajectoryOutput(const Circuit &circuit, uint64_t seed)
+{
+    NoiseModel off;
+    off.bitFlip = 0.0;
+    off.phaseFlip = 0.0;
+    TrajectoryConfig cfg;
+    cfg.trajectories = 1;
+    cfg.seed = seed;
+    cfg.parallel = false;
+    cfg.forceTrajectories = true;  // Exercise the trajectory loop itself.
+    return noisyDistribution(circuit, off, cfg);
+}
+
+double
+idealStageGap(const Circuit &circuit, const DifferentialOptions &options)
+{
+    return maxAbsGap(idealDistribution(circuit),
+                     noiselessTrajectoryOutput(circuit, options.seed));
+}
+
+double
+channelStageTvd(const Circuit &circuit, const NoiseModel &pauli,
+                const DifferentialOptions &options)
+{
+    TrajectoryConfig cfg;
+    cfg.trajectories = options.trajectories;
+    cfg.seed = options.seed;
+    const Distribution traj = noisyDistribution(circuit, pauli, cfg);
+    const Distribution exact = exactNoisyDistribution(circuit, pauli);
+    return totalVariationDistance(exact, traj);
+}
+
+void
+fillFailure(DifferentialReport &report, const Circuit &circuit,
+            const char *stage, double divergence, double bound,
+            const DifferentialOptions &options,
+            const std::function<bool(const Circuit &)> &stillFails)
+{
+    report.passed = false;
+    report.stage = stage;
+    report.divergence = divergence;
+    report.reproducer = options.minimizeOnFailure
+                            ? minimizeFailingCircuit(circuit, stillFails)
+                            : circuit;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s diverged: %.3e (bound %.3e); minimized reproducer "
+                  "has %zu gates over %d qubits",
+                  stage, divergence, bound, report.reproducer.size(),
+                  report.reproducer.numQubits());
+    report.detail = std::string(buf) + "\n" + report.reproducer.toString();
+}
+
+}  // namespace
+
+DifferentialReport
+runDifferential(const Circuit &circuit, const NoiseModel &noise,
+                const DifferentialOptions &options)
+{
+    DifferentialReport report;
+
+    // Stage 1: the trajectory engine with the channel forced off must
+    // reproduce the statevector output exactly.
+    const double gap = idealStageGap(circuit, options);
+    if (gap > options.idealTolerance) {
+        fillFailure(report, circuit, "statevector-vs-trajectory", gap,
+                    options.idealTolerance, options, [&](const Circuit &c) {
+                        return idealStageGap(c, options) >
+                               options.idealTolerance;
+                    });
+        return report;
+    }
+
+    // Stage 2: trajectory-averaged Pauli channel vs the exact Kraus
+    // evolution. Atom loss / crosstalk are trajectory-only concepts.
+    NoiseModel pauli = noise;
+    pauli.atomLoss = 0.0;
+    pauli.crosstalkPhase = 0.0;
+    if (!pauli.isNoiseless() &&
+        circuit.numQubits() <= options.maxDensityMatrixQubits) {
+        const double tvd = channelStageTvd(circuit, pauli, options);
+        if (tvd > options.channelTolerance) {
+            fillFailure(report, circuit, "density-matrix-vs-trajectory", tvd,
+                        options.channelTolerance, options,
+                        [&](const Circuit &c) {
+                            return channelStageTvd(c, pauli, options) >
+                                   options.channelTolerance;
+                        });
+            return report;
+        }
+        report.divergence = tvd;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "ideal gap %.3e, channel tvd %.3e: all engines agree",
+                      gap, tvd);
+        report.detail = buf;
+        return report;
+    }
+
+    report.divergence = gap;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "ideal gap %.3e: statevector and trajectory agree", gap);
+    report.detail = buf;
+    return report;
+}
+
+Circuit
+minimizeFailingCircuit(const Circuit &circuit,
+                       const std::function<bool(const Circuit &)> &stillFails)
+{
+    auto prefix = [&](size_t n) {
+        Circuit c(circuit.numQubits());
+        for (size_t i = 0; i < n && i < circuit.size(); ++i)
+            c.append(circuit.gates()[i]);
+        return c;
+    };
+
+    // Shortest failing prefix (binary search; verified afterwards since
+    // failure need not be monotone in prefix length).
+    size_t lo = 0, hi = circuit.size();
+    while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (stillFails(prefix(mid)))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    Circuit best = prefix(hi);
+    if (!stillFails(best))
+        best = circuit;
+
+    // Greedy single-gate removal to a local minimum.
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        for (size_t skip = 0; skip < best.size(); ++skip) {
+            Circuit candidate(best.numQubits());
+            for (size_t i = 0; i < best.size(); ++i)
+                if (i != skip)
+                    candidate.append(best.gates()[i]);
+            if (stillFails(candidate)) {
+                best = std::move(candidate);
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    return best;
+}
+
+}  // namespace verify
+}  // namespace geyser

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Differential simulator testing: run the same circuit through the three
+ * independent simulation engines and cross-check them against each other.
+ *
+ *  - statevector vs the trajectory engine with noise forced off: the
+ *    trajectory loop applies exactly the same gate operations, so the
+ *    outputs must agree to floating-point identity;
+ *  - exact density-matrix (Kraus) evolution vs the trajectory average of
+ *    the same stochastic Pauli channel: must agree within a Monte-Carlo
+ *    tolerance.
+ *
+ * On divergence the report carries a *minimized* reproducer circuit (a
+ * greedy delta-debugging shrink of the failing input), so a fuzz failure
+ * is immediately actionable.
+ */
+#ifndef GEYSER_VERIFY_DIFFERENTIAL_HPP
+#define GEYSER_VERIFY_DIFFERENTIAL_HPP
+
+#include <functional>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "sim/noise.hpp"
+
+namespace geyser {
+namespace verify {
+
+/** Knobs for one differential run. */
+struct DifferentialOptions
+{
+    /** Trajectories for the channel comparison. */
+    int trajectories = 400;
+    uint64_t seed = 99;
+    /** Bound on |p_sv - p_traj| per outcome in the noiseless stage. */
+    double idealTolerance = 1e-12;
+    /** TVD bound for density-matrix vs trajectory-averaged output. */
+    double channelTolerance = 0.05;
+    /** Density-matrix cost is 4^n; skip the channel stage above this. */
+    int maxDensityMatrixQubits = 6;
+    /** Shrink the failing circuit before reporting. */
+    bool minimizeOnFailure = true;
+};
+
+/** Outcome of a differential run. */
+struct DifferentialReport
+{
+    bool passed = true;
+    /** Stage that diverged: "statevector-vs-trajectory" or
+     *  "density-matrix-vs-trajectory"; empty when passed. */
+    std::string stage;
+    /** Worst per-outcome gap (ideal stage) or TVD (channel stage). */
+    double divergence = 0.0;
+    std::string detail;
+    /** Minimized failing circuit; empty when passed. */
+    Circuit reproducer;
+};
+
+/**
+ * Cross-check all simulators on `circuit`. The channel stage strips
+ * atom-loss and crosstalk from `noise` (the density-matrix engine models
+ * the per-gate Pauli channel only) and is skipped entirely when the
+ * remaining channel is noiseless or the circuit is too wide.
+ */
+DifferentialReport runDifferential(const Circuit &circuit,
+                                   const NoiseModel &noise,
+                                   const DifferentialOptions &options = {});
+
+/**
+ * Greedy shrink: the shortest prefix of `circuit` on which `stillFails`
+ * holds, then single-gate removals to a local minimum. `stillFails` must
+ * hold on the full circuit.
+ */
+Circuit minimizeFailingCircuit(
+    const Circuit &circuit,
+    const std::function<bool(const Circuit &)> &stillFails);
+
+}  // namespace verify
+}  // namespace geyser
+
+#endif  // GEYSER_VERIFY_DIFFERENTIAL_HPP

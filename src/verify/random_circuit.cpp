@@ -1,0 +1,106 @@
+#include "verify/random_circuit.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace geyser {
+namespace verify {
+
+const std::vector<GateKind> &
+defaultLogicalGateSet()
+{
+    static const std::vector<GateKind> kinds = {
+        GateKind::X,   GateKind::Y,   GateKind::Z,    GateKind::H,
+        GateKind::S,   GateKind::SDG, GateKind::T,    GateKind::TDG,
+        GateKind::RX,  GateKind::RY,  GateKind::RZ,   GateKind::P,
+        GateKind::U3,  GateKind::CX,  GateKind::CZ,   GateKind::CP,
+        GateKind::RZZ, GateKind::RXX, GateKind::RYY,  GateKind::SWAP,
+        GateKind::CCX, GateKind::CCZ,
+    };
+    return kinds;
+}
+
+const std::vector<GateKind> &
+physicalGateSet()
+{
+    static const std::vector<GateKind> kinds = {GateKind::U3, GateKind::CZ,
+                                                GateKind::CCZ};
+    return kinds;
+}
+
+Circuit
+randomCircuit(const RandomCircuitOptions &options)
+{
+    if (options.numQubits < 1)
+        throw std::invalid_argument("randomCircuit: need at least 1 qubit");
+    const std::vector<GateKind> &pool =
+        options.gateSet.empty() ? defaultLogicalGateSet() : options.gateSet;
+    std::vector<GateKind> kinds;
+    for (const GateKind kind : pool)
+        if (gateKindArity(kind) <= options.numQubits)
+            kinds.push_back(kind);
+    if (kinds.empty())
+        throw std::invalid_argument("randomCircuit: gate set too wide");
+
+    Rng rng(options.seed);
+    Circuit circuit(options.numQubits);
+    for (int i = 0; i < options.numGates; ++i) {
+        const GateKind kind =
+            kinds[static_cast<size_t>(rng.uniformInt(
+                static_cast<int>(kinds.size())))];
+        const int arity = gateKindArity(kind);
+        // Distinct operand qubits.
+        Qubit q[3] = {0, 0, 0};
+        for (int k = 0; k < arity; ++k) {
+            bool fresh = false;
+            while (!fresh) {
+                q[k] = rng.uniformInt(options.numQubits);
+                fresh = true;
+                for (int j = 0; j < k; ++j)
+                    if (q[j] == q[k])
+                        fresh = false;
+            }
+        }
+        double p[3] = {0.0, 0.0, 0.0};
+        for (int k = 0; k < gateKindParamCount(kind); ++k)
+            p[k] = rng.uniform(0.0, 2.0 * kPi);
+        switch (arity) {
+          case 1:
+            circuit.append(Gate(kind, q[0], p[0], p[1], p[2]));
+            break;
+          case 2:
+            circuit.append(Gate(kind, q[0], q[1], p[0]));
+            break;
+          default:
+            circuit.append(Gate(kind, q[0], q[1], q[2]));
+            break;
+        }
+    }
+    return circuit;
+}
+
+Circuit
+randomLogicalCircuit(int num_qubits, int num_gates, uint64_t seed)
+{
+    RandomCircuitOptions options;
+    options.numQubits = num_qubits;
+    options.numGates = num_gates;
+    options.seed = seed;
+    return randomCircuit(options);
+}
+
+Circuit
+randomPhysicalCircuit(int num_qubits, int num_gates, uint64_t seed)
+{
+    RandomCircuitOptions options;
+    options.numQubits = num_qubits;
+    options.numGates = num_gates;
+    options.seed = seed;
+    options.gateSet = physicalGateSet();
+    return randomCircuit(options);
+}
+
+}  // namespace verify
+}  // namespace geyser

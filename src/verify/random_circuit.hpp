@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Seeded random-circuit generators shared by every fuzz/property test
+ * (and usable from benches) instead of per-test ad-hoc generators. The
+ * same seed always produces the same circuit, so failures quoted by a
+ * test name + seed are reproducible anywhere.
+ */
+#ifndef GEYSER_VERIFY_RANDOM_CIRCUIT_HPP
+#define GEYSER_VERIFY_RANDOM_CIRCUIT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace geyser {
+namespace verify {
+
+/** Parameters of one random circuit draw. */
+struct RandomCircuitOptions
+{
+    int numQubits = 4;
+    int numGates = 25;
+    uint64_t seed = 1;
+    /**
+     * Gate kinds to draw from; empty means the full logical set
+     * (defaultLogicalGateSet()). Kinds wider than numQubits are skipped.
+     */
+    std::vector<GateKind> gateSet;
+};
+
+/**
+ * Every logical gate kind the IR, the QASM exporter/importer, and the
+ * basis-translation pass all support — the gate set a round-trip or
+ * pass-preservation fuzz test should cover.
+ */
+const std::vector<GateKind> &defaultLogicalGateSet();
+
+/** The neutral-atom physical basis {U3, CZ, CCZ}. */
+const std::vector<GateKind> &physicalGateSet();
+
+/** Draw a random circuit. Angles are uniform in [0, 2*pi). */
+Circuit randomCircuit(const RandomCircuitOptions &options);
+
+/** Shorthand: full logical gate set over n qubits. */
+Circuit randomLogicalCircuit(int num_qubits, int num_gates, uint64_t seed);
+
+/** Shorthand: physical-basis {U3, CZ, CCZ} circuit over n qubits. */
+Circuit randomPhysicalCircuit(int num_qubits, int num_gates, uint64_t seed);
+
+}  // namespace verify
+}  // namespace geyser
+
+#endif  // GEYSER_VERIFY_RANDOM_CIRCUIT_HPP

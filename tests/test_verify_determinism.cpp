@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Determinism and differential-simulation tests: the trajectory engine
+ * must produce bit-identical distributions whether it runs serially or
+ * on the thread pool (guarding the fixed-chunk seed-derivation scheme in
+ * src/sim/trajectory.cpp), and the three simulation engines must agree
+ * with each other through verify::runDifferential.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/statevector.hpp"
+#include "sim/trajectory.hpp"
+#include "verify/differential.hpp"
+#include "verify/random_circuit.hpp"
+
+namespace geyser {
+namespace {
+
+class TrajectoryDeterminism : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TrajectoryDeterminism, ParallelMatchesSerialBitForBit)
+{
+    const Circuit c = verify::randomLogicalCircuit(
+        4, 30, static_cast<uint64_t>(GetParam()) * 31);
+    NoiseModel noise = NoiseModel::withRate(0.01);
+    noise.atomLoss = 0.02;  // Exercises the lost-atom branch too.
+
+    TrajectoryConfig serial;
+    serial.trajectories = 70;  // Spans several 16-trajectory chunks.
+    serial.seed = 4242;
+    serial.parallel = false;
+    TrajectoryConfig parallel = serial;
+    parallel.parallel = true;
+
+    const Distribution ds = noisyDistribution(c, noise, serial);
+    const Distribution dp = noisyDistribution(c, noise, parallel);
+    ASSERT_EQ(ds.size(), dp.size());
+    for (size_t i = 0; i < ds.size(); ++i)
+        EXPECT_EQ(ds[i], dp[i]) << "outcome " << i;  // Bit-identical.
+}
+
+TEST_P(TrajectoryDeterminism, SameSeedReproducesExactly)
+{
+    const Circuit c = verify::randomLogicalCircuit(
+        3, 20, static_cast<uint64_t>(GetParam()) * 17 + 5);
+    const NoiseModel noise = NoiseModel::paperDefault();
+    TrajectoryConfig cfg;
+    cfg.trajectories = 40;
+    cfg.seed = 99;
+    const Distribution a = noisyDistribution(c, noise, cfg);
+    const Distribution b = noisyDistribution(c, noise, cfg);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrajectoryDeterminism,
+                         ::testing::Range(1, 7));
+
+TEST(Differential, NoiselessTrajectoryMatchesStatevectorExactly)
+{
+    for (int seed = 1; seed <= 8; ++seed) {
+        const Circuit c = verify::randomLogicalCircuit(
+            4, 25, static_cast<uint64_t>(seed) * 7);
+        NoiseModel off;
+        off.bitFlip = 0.0;
+        off.phaseFlip = 0.0;
+        TrajectoryConfig cfg;
+        cfg.trajectories = 1;
+        cfg.parallel = false;
+        cfg.forceTrajectories = true;
+        const Distribution traj = noisyDistribution(c, off, cfg);
+        const Distribution ideal = idealDistribution(c);
+        ASSERT_EQ(traj.size(), ideal.size());
+        for (size_t i = 0; i < traj.size(); ++i)
+            EXPECT_EQ(traj[i], ideal[i]) << "seed " << seed;
+    }
+}
+
+TEST(Differential, AllEnginesAgreeOnRandomCircuits)
+{
+    for (int seed = 1; seed <= 4; ++seed) {
+        const Circuit c = verify::randomLogicalCircuit(
+            4, 20, static_cast<uint64_t>(seed) * 11 + 2);
+        const auto report =
+            verify::runDifferential(c, NoiseModel::withRate(0.01));
+        EXPECT_TRUE(report.passed)
+            << report.stage << ": " << report.detail;
+    }
+}
+
+TEST(Differential, DivergenceYieldsMinimizedReproducer)
+{
+    // Force a failure by demanding an absurd channel tolerance; the
+    // report must point at the channel stage and carry a shrunken
+    // reproducer that still "fails".
+    const Circuit c = verify::randomLogicalCircuit(3, 12, 31);
+    verify::DifferentialOptions options;
+    options.trajectories = 20;
+    options.channelTolerance = 1e-15;
+    const auto report = verify::runDifferential(c, NoiseModel::withRate(0.05),
+                                        options);
+    ASSERT_FALSE(report.passed);
+    EXPECT_EQ(report.stage, "density-matrix-vs-trajectory");
+    EXPECT_GT(report.reproducer.size(), 0u);
+    EXPECT_LE(report.reproducer.size(), c.size());
+    EXPECT_NE(report.detail.find("minimized reproducer"), std::string::npos);
+}
+
+TEST(Differential, MinimizerShrinksToSingleCulprit)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.t(2);
+    c.ccx(0, 1, 2);
+    c.z(1);
+    const auto hasToffoli = [](const Circuit &candidate) {
+        return candidate.countKind(GateKind::CCX) > 0;
+    };
+    const Circuit minimal = verify::minimizeFailingCircuit(c, hasToffoli);
+    ASSERT_EQ(minimal.size(), 1u);
+    EXPECT_EQ(minimal.gates()[0].kind(), GateKind::CCX);
+}
+
+}  // namespace
+}  // namespace geyser

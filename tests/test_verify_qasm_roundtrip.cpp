@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Round-trip fuzz tests for the serialization layer: parse -> serialize
+ * -> re-parse must yield an equivalent circuit for random circuits over
+ * the full supported gate set (QASM, where CCZ legally re-enters as
+ * h-conjugated Toffoli, so equivalence is checked at the unitary level),
+ * and the native text format must round-trip gate-for-gate.
+ */
+#include <gtest/gtest.h>
+
+#include "io/qasm_parser.hpp"
+#include "io/serialize.hpp"
+#include "verify/equivalence.hpp"
+#include "verify/random_circuit.hpp"
+
+namespace geyser {
+namespace {
+
+class RoundTripFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+Circuit
+drawCircuit(int seed)
+{
+    return verify::randomLogicalCircuit(3 + seed % 3, 20,
+                                        static_cast<uint64_t>(seed) * 7 + 1);
+}
+
+TEST_P(RoundTripFuzz, QasmRoundTripPreservesUnitary)
+{
+    const Circuit c = drawCircuit(GetParam());
+    const Circuit reparsed = circuitFromQasm(circuitToQasm(c));
+    EXPECT_EQ(reparsed.numQubits(), c.numQubits());
+    const auto report = verify::checkUnitary(c, reparsed);
+    EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST_P(RoundTripFuzz, QasmRoundTripReachesFixpoint)
+{
+    // After one round trip the gate list is stable: serializing and
+    // re-parsing again must reproduce it exactly.
+    const Circuit once = circuitFromQasm(circuitToQasm(drawCircuit(GetParam())));
+    const std::string qasm = circuitToQasm(once);
+    const Circuit twice = circuitFromQasm(qasm);
+    ASSERT_EQ(once.size(), twice.size());
+    for (size_t i = 0; i < once.size(); ++i)
+        EXPECT_TRUE(once.gates()[i] == twice.gates()[i]) << "gate " << i;
+    EXPECT_EQ(qasm, circuitToQasm(twice));
+}
+
+TEST_P(RoundTripFuzz, NativeTextRoundTripsGateForGate)
+{
+    const Circuit c = drawCircuit(GetParam());
+    const Circuit reparsed = circuitFromText(circuitToText(c));
+    ASSERT_EQ(reparsed.numQubits(), c.numQubits());
+    ASSERT_EQ(reparsed.size(), c.size());
+    for (size_t i = 0; i < c.size(); ++i)
+        EXPECT_TRUE(c.gates()[i] == reparsed.gates()[i]) << "gate " << i;
+}
+
+TEST_P(RoundTripFuzz, PhysicalCircuitsRoundTripThroughQasm)
+{
+    // Compiled (physical-basis) circuits are what geyserc actually
+    // exports; CCZ goes out as h ccx h and must come back equivalent.
+    const Circuit c = verify::randomPhysicalCircuit(
+        4, 15, static_cast<uint64_t>(GetParam()) * 19 + 3);
+    const Circuit reparsed = circuitFromQasm(circuitToQasm(c));
+    const auto report = verify::checkUnitary(c, reparsed);
+    EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzz, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace geyser

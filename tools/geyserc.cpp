@@ -14,6 +14,8 @@
  *   --output <file>        write the compiled circuit (default stdout)
  *   --format qasm|text     output format (default qasm)
  *   --evaluate             also report ideal-equivalence and noisy TVD
+ *   --verify               differentially verify all four techniques and
+ *                          the simulator engines; exits 1 on divergence
  *   --draw                 print the compiled circuit as ASCII art
  *   --pulses               print the lowered laser-pulse program
  *   --noise <rate>         error rate for --evaluate (default 0.001)
@@ -33,6 +35,8 @@
 #include "io/qasm_parser.hpp"
 #include "io/serialize.hpp"
 #include "pulse/pulse.hpp"
+#include "verify/differential.hpp"
+#include "verify/equivalence.hpp"
 
 using namespace geyser;
 
@@ -48,9 +52,47 @@ usage(const char *argv0)
                  "  --technique baseline|optimap|geyser|superconducting\n"
                  "  --output <file>   --format qasm|text\n"
                  "  --evaluate        --noise <rate>  --trajectories <n>\n"
-                 "  --quiet\n",
+                 "  --verify          --quiet\n",
                  argv0, argv0);
     std::exit(2);
+}
+
+/**
+ * Compile with every technique under the pipeline's built-in stage
+ * verification, re-check each final result, and cross-check the
+ * simulator engines on the logical program. Returns 0 if all PASS.
+ */
+int
+runVerify(const Circuit &logical, double noise_rate)
+{
+    PipelineOptions options;
+    options.verifyEquivalence = true;
+    bool allPass = true;
+    for (const Technique technique :
+         {Technique::Baseline, Technique::OptiMap, Technique::Geyser,
+          Technique::Superconducting}) {
+        try {
+            const CompileResult result = compile(technique, logical, options);
+            const auto report = verify::checkCompileResult(result);
+            allPass = allPass && report.equivalent;
+            std::fprintf(stderr, "verify %-16s %s  [%s %s]\n",
+                         techniqueName(technique),
+                         report.equivalent ? "PASS" : "FAIL",
+                         report.method.c_str(), report.detail.c_str());
+        } catch (const verify::VerificationError &e) {
+            allPass = false;
+            std::fprintf(stderr, "verify %-16s FAIL  [%s]\n",
+                         techniqueName(technique), e.what());
+        }
+    }
+    const auto diff = verify::runDifferential(
+        logical, NoiseModel::withRate(noise_rate));
+    allPass = allPass && diff.passed;
+    std::fprintf(stderr, "verify %-16s %s  [%s]\n", "simulators",
+                 diff.passed ? "PASS" : "FAIL", diff.detail.c_str());
+    std::fprintf(stderr, "%s\n", allPass ? "PASS: all techniques equivalent"
+                                         : "FAIL: divergence detected");
+    return allPass ? 0 : 1;
 }
 
 Technique
@@ -75,6 +117,7 @@ main(int argc, char **argv)
     std::string input, benchmark, output, format = "qasm";
     Technique technique = Technique::Geyser;
     bool evaluate = false, quiet = false, draw = false, pulses = false;
+    bool verifyMode = false;
     double noiseRate = 0.001;
     int trajectories = 200;
 
@@ -96,6 +139,8 @@ main(int argc, char **argv)
                 format = next();
             else if (arg == "--evaluate")
                 evaluate = true;
+            else if (arg == "--verify")
+                verifyMode = true;
             else if (arg == "--draw")
                 draw = true;
             else if (arg == "--pulses")
@@ -132,6 +177,9 @@ main(int argc, char **argv)
             text << in.rdbuf();
             logical = circuitFromQasm(text.str());
         }
+
+        if (verifyMode)
+            return runVerify(logical, noiseRate);
 
         const CompileResult result = compile(technique, logical);
 
