@@ -6,6 +6,9 @@
  * The comparison itself runs through the shared differential-verification
  * layer (src/verify), the same code path tests and `geyserc --verify`
  * use.
+ *
+ * Observability flags (see bench/common.hpp): --report <file> writes a
+ * structured JSON run report; --trace/--metrics dump the obs session.
  */
 #include <cstdio>
 
@@ -16,12 +19,13 @@ using namespace geyser;
 using namespace geyser::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ReportSession report(argc, argv, "bench_fidelity_check");
     std::printf("Sec 6: ideal-output TVD of Geyser circuits vs original\n\n");
-    const std::vector<int> widths{14, 12, 12, 12, 12};
+    const std::vector<int> widths{14, 12, 12, 12, 12, 9};
     printRow({"Benchmark", "Verdict", "Ideal TVD", "Max block HSD",
-              "Composed"},
+              "Composed", "Wall ms"},
              widths);
     printRule(widths);
     bool allOk = true;
@@ -29,14 +33,18 @@ main()
     eo.tvdTolerance = 1e-2;  // Paper Sec 6 bound.
     for (const auto &spec : tvdSuite()) {
         const auto gey = compileCached(spec, Technique::Geyser);
-        const auto report = verify::checkCompileResult(gey, eo);
-        allOk = allOk && report.equivalent;
+        report.add(spec.name, gey);
+        const auto verdict = verify::checkCompileResult(gey, eo);
+        allOk = allOk && verdict.equivalent;
         char hsd[32];
         std::snprintf(hsd, sizeof(hsd), "%.1e", gey.maxBlockHsd);
-        printRow({spec.name, report.equivalent ? "PASS" : "FAIL",
-                  fmtTvd(report.tvd), hsd,
+        char wall[32];
+        std::snprintf(wall, sizeof(wall), "%.1f", gey.totalMs);
+        printRow({spec.name, verdict.equivalent ? "PASS" : "FAIL",
+                  fmtTvd(verdict.tvd), hsd,
                   fmtLong(gey.composedBlockCount) + "/" +
-                      fmtLong(gey.blockCount)},
+                      fmtLong(gey.blockCount),
+                  wall},
                  widths);
     }
     std::printf("\n%s (paper claims < 1e-2 across all algorithms)\n",

@@ -3,6 +3,10 @@
  * Reproduces paper Table 1: Baseline characteristics of the ten
  * benchmark circuits (qubits, U3/CZ gate counts, total and depth
  * pulses), printed next to the paper-reported values.
+ *
+ * Observability flags (see bench/common.hpp): --report <file> writes a
+ * structured JSON run report (per-circuit stats, stage wall times,
+ * counters, git SHA); --trace/--metrics dump the raw obs session.
  */
 #include <cstdio>
 
@@ -12,28 +16,34 @@ using namespace geyser;
 using namespace geyser::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ReportSession report(argc, argv, "bench_table1");
     std::printf("Table 1: benchmark Baseline characteristics "
                 "(ours vs paper)\n\n");
-    const std::vector<int> widths{14, 6, 11, 11, 13, 13};
+    const std::vector<int> widths{14, 6, 11, 11, 13, 13, 9};
     printRow({"Benchmark", "Qubits", "U3 gates", "CZ gates", "Total pulses",
-              "Depth pulses"},
+              "Depth pulses", "Wall ms"},
              widths);
     printRule(widths);
     for (const auto &spec : benchmarkSuite()) {
         const auto result = compileCached(spec, Technique::Baseline);
+        report.add(spec.name, result);
         const auto &s = result.stats;
         const auto &p = spec.paper;
+        char wall[32];
+        std::snprintf(wall, sizeof(wall), "%.1f", result.totalMs);
         printRow({spec.name, std::to_string(spec.numQubits),
                   fmtLong(s.u3Count) + "/" + fmtLong(p.u3Gates),
                   fmtLong(s.czCount) + "/" + fmtLong(p.czGates),
                   fmtLong(s.totalPulses) + "/" + fmtLong(p.totalPulses),
-                  fmtLong(s.depthPulses) + "/" + fmtLong(p.depthPulses)},
+                  fmtLong(s.depthPulses) + "/" + fmtLong(p.depthPulses),
+                  wall},
                  widths);
     }
     std::printf("\nEach cell: measured/paper. Absolute counts differ with\n"
                 "the transpiler implementation; orders of magnitude and\n"
-                "relative circuit sizes should match.\n");
+                "relative circuit sizes should match. Wall ms is the\n"
+                "compile time (0.0 when replayed from the result cache).\n");
     return 0;
 }

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sys/stat.h>
 
+#include "common/thread_pool.hpp"
 #include "io/serialize.hpp"
+#include "obs/obs.hpp"
 
 namespace geyser {
 namespace bench {
@@ -33,15 +36,20 @@ compileCached(const BenchmarkSpec &spec, Technique technique)
     const Circuit logical = spec.make();
     const std::string dir = cacheDir();
     // kCacheVersion must be bumped whenever pipeline behaviour changes,
-    // or stale circuits would be replayed.
-    constexpr const char *kCacheVersion = "v3";
+    // or stale circuits would be replayed. (v4: stage wall times.)
+    constexpr const char *kCacheVersion = "v4";
     const std::string path = dir + "/" + spec.name + "-" +
                              techniqueName(technique) + "-" + kCacheVersion +
                              ".txt";
+    static obs::Counter &hits = obs::counter("bench.cache_hits");
+    static obs::Counter &misses = obs::counter("bench.cache_misses");
     if (cacheEnabled()) {
-        if (auto cached = loadCompileResult(path, logical))
+        if (auto cached = loadCompileResult(path, logical)) {
+            hits.add();
             return *cached;
+        }
     }
+    misses.add();
     const CompileResult result = compile(technique, logical);
     if (cacheEnabled()) {
         ::mkdir(dir.c_str(), 0755);
@@ -124,6 +132,95 @@ fmtTvd(double tvd)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.4f", tvd);
     return buf;
+}
+
+obs::Json
+compileResultJson(const std::string &circuit, const CompileResult &result)
+{
+    obs::Json row = obs::Json::object();
+    row.set("name", circuit);
+    row.set("technique", techniqueName(result.technique));
+    row.set("qubits", result.logical.numQubits());
+    row.set("u3", result.stats.u3Count);
+    row.set("cz", result.stats.czCount);
+    row.set("ccz", result.stats.cczCount);
+    row.set("totalPulses", result.stats.totalPulses);
+    row.set("depthPulses", result.stats.depthPulses);
+    row.set("swaps", result.swapsInserted);
+    row.set("blocks", result.blockCount);
+    row.set("composedBlocks", result.composedBlockCount);
+    row.set("compositionEvaluations", result.compositionEvaluations);
+    row.set("maxBlockHsd", result.maxBlockHsd);
+    obs::Json times = obs::Json::object();
+    times.set("transpile", result.transpileMs);
+    times.set("blocking", result.blockingMs);
+    times.set("compose", result.composeMs);
+    times.set("total", result.totalMs);
+    row.set("timesMs", std::move(times));
+    return row;
+}
+
+ReportSession::ReportSession(int argc, char **argv, const std::string &tool)
+    : report_(tool)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--report") == 0)
+            reportPath_ = argv[i + 1];
+        else if (std::strcmp(argv[i], "--trace") == 0)
+            tracePath_ = argv[i + 1];
+        else if (std::strcmp(argv[i], "--metrics") == 0)
+            metricsPath_ = argv[i + 1];
+    }
+    active_ = !reportPath_.empty() || !tracePath_.empty() ||
+              !metricsPath_.empty();
+    if (!active_)
+        return;
+    obs::setEnabled(true);
+    obs::setThreadName("main");
+    report_.setConfig("trajectories", trajectoryConfig(0).trajectories);
+    report_.setConfig("heavy", heavyEnabled());
+    report_.setConfig("cacheEnabled", cacheEnabled());
+    report_.setConfig("threads", globalPool().size());
+}
+
+ReportSession::~ReportSession()
+{
+    if (!active_)
+        return;
+    // Pool utilization over the whole session, for the report's gauges.
+    const PoolStats pool = globalPool().snapshot();
+    obs::gauge("pool.submitted").set(static_cast<double>(pool.submitted));
+    obs::gauge("pool.completed").set(static_cast<double>(pool.completed));
+    obs::gauge("pool.busy_ms")
+        .set(static_cast<double>(pool.busyMicros) / 1000.0);
+    try {
+        if (!tracePath_.empty())
+            obs::writeChromeTrace(tracePath_);
+        if (!metricsPath_.empty())
+            obs::writeMetricsJsonl(metricsPath_);
+        if (!reportPath_.empty()) {
+            report_.write(reportPath_);
+            std::fprintf(stderr, "run report written to %s\n",
+                         reportPath_.c_str());
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "report write failed: %s\n", e.what());
+    }
+    obs::setEnabled(false);
+}
+
+void
+ReportSession::add(const std::string &circuit, const CompileResult &result)
+{
+    if (active_)
+        report_.addCircuit(compileResultJson(circuit, result));
+}
+
+void
+ReportSession::note(const std::string &key, const std::string &value)
+{
+    if (active_)
+        report_.setConfig(key, value);
 }
 
 }  // namespace bench

@@ -18,9 +18,52 @@
 
 #include "algos/suite.hpp"
 #include "geyser/pipeline.hpp"
+#include "obs/report.hpp"
 
 namespace geyser {
 namespace bench {
+
+/**
+ * Per-binary run-report session. Parses observability flags from argv:
+ *
+ *   --report <file>   write a structured JSON run report on exit
+ *                     (per-circuit stats + stage wall times + metrics)
+ *   --trace <file>    write a Chrome trace_event JSON on exit
+ *   --metrics <file>  write the JSONL event/metric log on exit
+ *
+ * Any of the flags enables obs collection for the whole run. Construct
+ * one at the top of main(); record each compiled circuit with add().
+ * The files are written when the session is destroyed.
+ */
+class ReportSession
+{
+  public:
+    ReportSession(int argc, char **argv, const std::string &tool);
+    ~ReportSession();
+
+    ReportSession(const ReportSession &) = delete;
+    ReportSession &operator=(const ReportSession &) = delete;
+
+    /** True if any output was requested (collection is on). */
+    bool active() const { return active_; }
+
+    /** Record one compiled benchmark circuit. */
+    void add(const std::string &circuit, const CompileResult &result);
+
+    /** Record an extra top-level config entry. */
+    void note(const std::string &key, const std::string &value);
+
+  private:
+    std::string reportPath_;
+    std::string tracePath_;
+    std::string metricsPath_;
+    bool active_ = false;
+    obs::RunReport report_;
+};
+
+/** The per-circuit JSON row ReportSession::add records. */
+obs::Json compileResultJson(const std::string &circuit,
+                            const CompileResult &result);
 
 /** Compile through the cross-binary cache. */
 CompileResult compileCached(const BenchmarkSpec &spec, Technique technique);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace geyser {
 
 namespace {
@@ -137,6 +139,9 @@ blockCircuit(const Circuit &circuit, const Topology &topo,
         }
         if (candidates.empty())
             throw std::logic_error("blockCircuit: no progress possible");
+        static obs::Counter &candidatesGrown =
+            obs::counter("blocking.candidates_grown");
+        candidatesGrown.add(static_cast<long>(candidates.size()));
 
         std::sort(candidates.begin(), candidates.end(),
                   [](const Candidate &a, const Candidate &b) {
@@ -195,6 +200,11 @@ blockCircuit(const Circuit &circuit, const Topology &topo,
             consumed += cand->opIndices.size();
         }
         blocked.rounds.push_back(std::move(round));
+    }
+    if (obs::enabled()) {
+        obs::counter("blocking.rounds")
+            .add(static_cast<long>(blocked.rounds.size()));
+        obs::counter("blocking.blocks_formed").add(blocked.blockCount());
     }
     return blocked;
 }

@@ -1,8 +1,25 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
+#include "obs/obs.hpp"
 
 namespace geyser {
+
+double
+PoolStats::utilizationSince(const PoolStats &start,
+                            double interval_micros) const
+{
+    if (workers <= 0 || interval_micros <= 0.0)
+        return 0.0;
+    const double busy = static_cast<double>(busyMicros - start.busyMicros);
+    return std::min(1.0, busy / (interval_micros * workers));
+}
 
 ThreadPool::ThreadPool(int n)
 {
@@ -10,7 +27,7 @@ ThreadPool::ThreadPool(int n)
     count = std::max(1, count);
     workers_.reserve(static_cast<size_t>(count));
     for (int i = 0; i < count; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -27,11 +44,16 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        tasks_.push(std::move(task));
+        tasks_.push({std::move(task),
+                     obs::enabled() ? obs::nowMicros() : uint64_t{0}});
         ++inFlight_;
+        depth = tasks_.size();
     }
+    obs::counterEvent("pool.queue_depth", static_cast<double>(depth));
     cvTask_.notify_one();
 }
 
@@ -40,6 +62,22 @@ ThreadPool::waitIdle()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     cvIdle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+PoolStats
+ThreadPool::snapshot() const
+{
+    PoolStats stats;
+    stats.submitted = submitted_.load(std::memory_order_relaxed);
+    stats.completed = completed_.load(std::memory_order_relaxed);
+    stats.workers = static_cast<int>(workers_.size());
+    stats.busyMicros = busyMicros_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats.inFlight = inFlight_;
+        stats.queued = static_cast<int>(tasks_.size());
+    }
+    return stats;
 }
 
 void
@@ -51,10 +89,17 @@ ThreadPool::parallelFor(int n, const std::function<void(int)> &fn)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int index)
 {
+    char name[16];
+    std::snprintf(name, sizeof(name), "geyser-wk%d", index);
+#ifdef __linux__
+    pthread_setname_np(pthread_self(), name);
+#endif
+    obs::setThreadName(name);
+
     for (;;) {
-        std::function<void()> task;
+        Task task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cvTask_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -63,7 +108,24 @@ ThreadPool::workerLoop()
             task = std::move(tasks_.front());
             tasks_.pop();
         }
-        task();
+        const uint64_t start = obs::nowMicros();
+        {
+            obs::Span span("pool.task", "pool");
+            if (span.active() && task.submitMicros != 0) {
+                const double waitUs =
+                    static_cast<double>(start - task.submitMicros);
+                span.arg("wait_us", waitUs);
+                obs::histogram("pool.task_wait_us").record(waitUs);
+            }
+            task.fn();
+        }
+        const uint64_t stop = obs::nowMicros();
+        busyMicros_.fetch_add(static_cast<long>(stop - start),
+                              std::memory_order_relaxed);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled())
+            obs::histogram("pool.task_run_us")
+                .record(static_cast<double>(stop - start));
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --inFlight_;

@@ -3,12 +3,19 @@
  * A minimal fixed-size thread pool used to compose circuit blocks and run
  * noise trajectories in parallel (the paper composes blocks concurrently
  * with Python multiprocessing; this is the C++ equivalent).
+ *
+ * The pool keeps lightweight lifetime counters (submitted / completed /
+ * busy time) unconditionally and, when obs tracing is enabled, emits a
+ * span per task plus queue-depth samples and wait/run-time histograms.
+ * Workers are named ("geyser-wk0", ...) for trace readability and
+ * debugger ergonomics.
  */
 #ifndef GEYSER_COMMON_THREAD_POOL_HPP
 #define GEYSER_COMMON_THREAD_POOL_HPP
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,6 +23,24 @@
 #include <vector>
 
 namespace geyser {
+
+/** Point-in-time view of a pool's activity. */
+struct PoolStats
+{
+    long submitted = 0;    ///< Tasks ever submitted.
+    long completed = 0;    ///< Tasks finished.
+    int inFlight = 0;      ///< Submitted but unfinished (queued + running).
+    int queued = 0;        ///< Waiting in the queue (subset of inFlight).
+    int workers = 0;       ///< Worker-thread count.
+    long busyMicros = 0;   ///< Total wall time spent inside tasks.
+
+    /**
+     * Fraction of worker capacity spent running tasks over an interval,
+     * given a snapshot taken at its start (both from this pool).
+     */
+    double utilizationSince(const PoolStats &start,
+                            double interval_micros) const;
+};
 
 /**
  * Fixed-size worker pool. Tasks are void() callables; waitIdle() blocks
@@ -40,6 +65,9 @@ class ThreadPool
     /** Number of worker threads. */
     int size() const { return static_cast<int>(workers_.size()); }
 
+    /** Activity counters (thread-safe; queued/inFlight are a snapshot). */
+    PoolStats snapshot() const;
+
     /**
      * Convenience: run fn(i) for i in [0, n) across the pool and wait.
      * fn must be safe to invoke concurrently for distinct i.
@@ -47,15 +75,24 @@ class ThreadPool
     void parallelFor(int n, const std::function<void(int)> &fn);
 
   private:
-    void workerLoop();
+    struct Task
+    {
+        std::function<void()> fn;
+        uint64_t submitMicros = 0;
+    };
+
+    void workerLoop(int index);
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
+    std::queue<Task> tasks_;
+    mutable std::mutex mutex_;
     std::condition_variable cvTask_;
     std::condition_variable cvIdle_;
     int inFlight_ = 0;
     bool stop_ = false;
+    std::atomic<long> submitted_{0};
+    std::atomic<long> completed_{0};
+    std::atomic<long> busyMicros_{0};
 };
 
 /** Global pool shared by the library (lazily constructed). */

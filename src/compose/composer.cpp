@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 #include "opt/dual_annealing.hpp"
 #include "sim/unitary_sim.hpp"
 #include "transpile/zyz.hpp"
@@ -291,6 +292,9 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
                     },
                     lo, hi, da);
                 result.evaluations += out.evaluations;
+                static obs::Counter &annealEvals =
+                    obs::counter("compose.annealing_evaluations");
+                annealEvals.add(out.evaluations);
                 std::vector<double> polished = out.x;
                 const double h =
                     rotosolve(ansatz, target, polished, 30,
@@ -340,6 +344,8 @@ composeRecursive(const Circuit &block, const ComposeOptions &options,
     if (direct.composed || depth >= options.maxSplitDepth ||
         block.size() < 6)
         return direct;
+    static obs::Counter &splits = obs::counter("compose.splits");
+    splits.add();
 
     const size_t mid = block.size() / 2;
     Circuit first(block.numQubits()), second(block.numQubits());
@@ -402,14 +408,28 @@ std::unordered_map<std::string, ComposeResult> memo;
 ComposeResult
 composeBlockCached(const Circuit &block, const ComposeOptions &options)
 {
+    static obs::Counter &memoHits = obs::counter("compose.memo_hits");
+    static obs::Counter &memoMisses = obs::counter("compose.memo_misses");
+    static obs::Counter &evaluations = obs::counter("compose.evaluations");
+    static obs::Counter &composedBlocks = obs::counter("compose.blocks_composed");
+
     const std::string key = memoKey(block, options);
     {
         std::lock_guard<std::mutex> lock(memoMutex);
         const auto it = memo.find(key);
-        if (it != memo.end())
+        if (it != memo.end()) {
+            memoHits.add();
             return it->second;
+        }
     }
+    memoMisses.add();
     const ComposeResult result = composeRecursive(block, options, 0);
+    evaluations.add(result.evaluations);
+    if (result.composed)
+        composedBlocks.add();
+    if (obs::enabled())
+        obs::histogram("compose.evaluations_per_block")
+            .record(static_cast<double>(result.evaluations));
     {
         std::lock_guard<std::mutex> lock(memoMutex);
         memo.emplace(key, result);

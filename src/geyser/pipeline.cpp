@@ -1,10 +1,12 @@
 #include "geyser/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "circuit/schedule.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "sim/statevector.hpp"
 #include "transpile/basis.hpp"
 #include "transpile/passes.hpp"
@@ -31,6 +33,15 @@ techniqueName(Technique technique)
 }
 
 namespace {
+
+using StageClock = std::chrono::steady_clock;
+
+double
+msSince(StageClock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(StageClock::now() - t0)
+        .count();
+}
 
 verify::EquivalenceOptions
 verifyOptionsFrom(const PipelineOptions &options)
@@ -81,31 +92,58 @@ mapCircuit(Technique technique, const Circuit &logical, const Topology &topo,
     result.logical = logical;
     result.topology = topo;
 
-    Circuit physical = decomposeToBasis(logical);
+    const auto t0 = StageClock::now();
+    obs::Span span("transpile", "pipeline");
+    span.arg("technique", techniqueName(technique));
+    span.arg("qubits", logical.numQubits());
+
+    Circuit physical;
+    {
+        obs::Span s("transpile.basis", "pipeline");
+        physical = decomposeToBasis(logical);
+        s.arg("gates", static_cast<double>(physical.size()));
+    }
     verifyStage(options, "basis translation", logical, physical);
     if (optimized) {
+        obs::Span s("transpile.optimize.pre", "pipeline");
         optimize(physical);
+        s.arg("gates", static_cast<double>(physical.size()));
         verifyStage(options, "pre-routing optimization", logical, physical);
     }
     // Baseline routes from the trivial layout ("no mapping
     // optimizations"); the optimizing techniques try several routing
     // strategies (trivial walk, interaction-aware greedy layout, SABRE
     // lookahead) and keep the cheapest result.
-    RoutedCircuit routed = route(physical, topo);
+    RoutedCircuit routed;
+    {
+        obs::Span s("transpile.route", "pipeline");
+        s.arg("strategy", "trivial");
+        routed = route(physical, topo);
+        s.arg("swaps", routed.swapsInserted);
+        s.arg("pulses", static_cast<double>(routed.circuit.totalPulses()));
+    }
     verifyRoutedStage(options, "routing (trivial walk)", physical, routed);
     if (optimized) {
-        optimize(routed.circuit);
+        {
+            obs::Span s("transpile.optimize.post", "pipeline");
+            optimize(routed.circuit);
+        }
         verifyRoutedStage(options, "post-routing optimization", physical,
                           routed);
         const auto greedyLayout = chooseInitialLayout(physical, topo);
-        RoutedCircuit candidates[] = {
-            route(physical, topo, greedyLayout),
-            routeSabre(physical, topo, greedyLayout),
-        };
         const char *names[] = {"routing (greedy layout)", "routing (SABRE)"};
+        const char *strategies[] = {"greedy", "sabre"};
+        RoutedCircuit candidates[2];
         for (size_t ci = 0; ci < 2; ++ci) {
+            obs::Span s("transpile.route", "pipeline");
+            s.arg("strategy", strategies[ci]);
             auto &candidate = candidates[ci];
+            candidate = ci == 0 ? route(physical, topo, greedyLayout)
+                                : routeSabre(physical, topo, greedyLayout);
+            s.arg("swaps", candidate.swapsInserted);
             optimize(candidate.circuit);
+            s.arg("pulses",
+                  static_cast<double>(candidate.circuit.totalPulses()));
             verifyRoutedStage(options, names[ci], physical, candidate);
             if (candidate.circuit.totalPulses() <
                 routed.circuit.totalPulses())
@@ -116,6 +154,8 @@ mapCircuit(Technique technique, const Circuit &logical, const Topology &topo,
     result.initialLayout = std::move(routed.initialLayout);
     result.finalLayout = std::move(routed.finalLayout);
     result.swapsInserted = routed.swapsInserted;
+    span.arg("swaps", result.swapsInserted);
+    result.transpileMs = msSince(t0);
     return result;
 }
 
@@ -152,50 +192,81 @@ fillStats(CompileResult &result)
 CompileResult
 compileBaseline(const Circuit &logical, const PipelineOptions &options)
 {
+    obs::EnabledScope traceScope(options.trace);
+    const auto t0 = StageClock::now();
+    obs::Span span("compile", "pipeline");
+    span.arg("technique", "Baseline");
     CompileResult result =
         mapCircuit(Technique::Baseline, logical,
                    Topology::forQubits(logical.numQubits()), false, options);
     fillStats(result);
     verifyResult(options, result);
+    result.totalMs = msSince(t0);
     return result;
 }
 
 CompileResult
 compileOptiMap(const Circuit &logical, const PipelineOptions &options)
 {
+    obs::EnabledScope traceScope(options.trace);
+    const auto t0 = StageClock::now();
+    obs::Span span("compile", "pipeline");
+    span.arg("technique", "OptiMap");
     CompileResult result =
         mapCircuit(Technique::OptiMap, logical,
                    Topology::forQubits(logical.numQubits()), true, options);
     fillStats(result);
     verifyResult(options, result);
+    result.totalMs = msSince(t0);
     return result;
 }
 
 CompileResult
 compileSuperconducting(const Circuit &logical, const PipelineOptions &options)
 {
+    obs::EnabledScope traceScope(options.trace);
+    const auto t0 = StageClock::now();
+    obs::Span span("compile", "pipeline");
+    span.arg("technique", "Superconducting");
     CompileResult result =
         mapCircuit(Technique::Superconducting, logical,
                    Topology::squareForQubits(logical.numQubits()), true,
                    options);
     fillStats(result);
     verifyResult(options, result);
+    result.totalMs = msSince(t0);
     return result;
 }
 
 CompileResult
 compileGeyser(const Circuit &logical, const PipelineOptions &options)
 {
+    obs::EnabledScope traceScope(options.trace);
+    const auto t0 = StageClock::now();
+    obs::Span span("compile", "pipeline");
+    span.arg("technique", "Geyser");
     CompileResult result =
         mapCircuit(Technique::Geyser, logical,
                    Topology::forQubits(logical.numQubits()), true, options);
 
     // Blocking (Algorithm 1).
-    BlockedCircuit blocked =
-        blockCircuit(result.physical, result.topology, options.blocker);
+    const auto tBlock = StageClock::now();
+    BlockedCircuit blocked;
+    {
+        obs::Span s("blocking", "pipeline");
+        blocked =
+            blockCircuit(result.physical, result.topology, options.blocker);
+        s.arg("blocks", blocked.blockCount());
+        s.arg("rounds", static_cast<double>(blocked.rounds.size()));
+    }
     result.blockCount = blocked.blockCount();
+    result.blockingMs = msSince(tBlock);
 
     // Composition (Algorithm 2), independently parallel across blocks.
+    const auto tCompose = StageClock::now();
+    Circuit out(result.topology.numAtoms());
+    {
+    obs::Span composeSpan("compose", "pipeline");
     std::vector<const Block *> blocks;
     for (const auto &round : blocked.rounds)
         for (const auto &block : round.blocks)
@@ -206,9 +277,20 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
         // Identical local blocks (every Trotter step, every ripple-carry
         // stage) share one composition through the memo, so the seed must
         // not vary per block.
-        composed[static_cast<size_t>(i)] = composeBlockCached(
+        obs::Span s("compose.block", "compose");
+        const auto &cr = composed[static_cast<size_t>(i)] = composeBlockCached(
             blocked.localCircuit(*blocks[static_cast<size_t>(i)]),
             options.compose);
+        if (s.active()) {
+            s.arg("block", i);
+            s.arg("atoms",
+                  static_cast<double>(
+                      blocks[static_cast<size_t>(i)]->atoms.size()));
+            s.arg("evaluations", static_cast<double>(cr.evaluations));
+            s.arg("composed", cr.composed ? 1.0 : 0.0);
+            s.arg("layers", cr.layersUsed);
+            s.arg("hsd", cr.hsd);
+        }
     };
     if (options.parallelCompose) {
         globalPool().parallelFor(static_cast<int>(blocks.size()), composeOne);
@@ -218,7 +300,6 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
     }
 
     // Reassemble: blocks in round order, each remapped to its atoms.
-    Circuit out(result.topology.numAtoms());
     for (size_t i = 0; i < blocks.size(); ++i) {
         const Block &block = *blocks[i];
         const ComposeResult &cr = composed[i];
@@ -229,6 +310,13 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
         result.compositionEvaluations += cr.evaluations;
         result.maxBlockHsd = std::max(result.maxBlockHsd, cr.hsd);
     }
+    composeSpan.arg("blocks", result.blockCount);
+    composeSpan.arg("composed", result.composedBlockCount);
+    composeSpan.arg("evaluations",
+                    static_cast<double>(result.compositionEvaluations));
+    composeSpan.arg("maxHsd", result.maxBlockHsd);
+    }
+    result.composeMs = msSince(tCompose);
     // If nothing composed, the block-order reshuffle buys nothing: keep
     // the mapped circuit verbatim (Geyser degenerates to OptiMap, as the
     // paper reports for the Advantage benchmark).
@@ -236,6 +324,7 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
         result.physical = std::move(out);
     fillStats(result);
     verifyResult(options, result);
+    result.totalMs = msSince(t0);
     return result;
 }
 

@@ -58,6 +58,14 @@ struct PipelineOptions
     double verifyTvdTolerance = 1e-2;
     /** Widest circuit verified at the unitary level (else distribution). */
     int verifyMaxUnitaryQubits = 10;
+    /**
+     * Force obs tracing/metrics collection on for the duration of this
+     * compile (restoring the previous state afterwards), so a single
+     * compilation can be traced without touching the process-wide
+     * obs::setEnabled flag. Export with obs::writeChromeTrace /
+     * obs::writeMetricsJsonl after the call.
+     */
+    bool trace = false;
 };
 
 /** Everything the benches report about one compiled circuit. */
@@ -76,6 +84,13 @@ struct CompileResult
     int composedBlockCount = 0;
     long compositionEvaluations = 0;
     double maxBlockHsd = 0.0;
+    // Stage wall-clock times, populated unconditionally on every compile
+    // (zero for stages a technique does not run, and replayed verbatim
+    // from the bench result cache).
+    double transpileMs = 0.0;  ///< Basis + optimization + routing.
+    double blockingMs = 0.0;   ///< Algorithm 1 (Geyser only).
+    double composeMs = 0.0;    ///< Algorithm 2 (Geyser only).
+    double totalMs = 0.0;      ///< Whole compile() call.
 };
 
 /** Compile with the given technique. */

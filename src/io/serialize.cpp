@@ -139,6 +139,10 @@ saveCompileResult(const std::string &path, const CompileResult &result)
         << "\n";
     out << "evals " << result.compositionEvaluations << "\n";
     out << "maxhsd " << formatDouble(result.maxBlockHsd) << "\n";
+    out << "times " << formatDouble(result.transpileMs) << " "
+        << formatDouble(result.blockingMs) << " "
+        << formatDouble(result.composeMs) << " "
+        << formatDouble(result.totalMs) << "\n";
     out << "layout";
     for (const Qubit q : result.finalLayout)
         out << " " << q;
@@ -178,6 +182,9 @@ loadCompileResult(const std::string &path, const Circuit &logical)
                 in >> result.compositionEvaluations;
             } else if (key == "maxhsd") {
                 in >> result.maxBlockHsd;
+            } else if (key == "times") {
+                in >> result.transpileMs >> result.blockingMs >>
+                    result.composeMs >> result.totalMs;
             } else if (key == "layout") {
                 std::getline(in, line);
                 std::istringstream ls(line);

@@ -1,0 +1,413 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace geyser {
+namespace obs {
+
+void
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        throw std::logic_error("Json::push: not an array");
+    arr_.push_back(std::move(v));
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        throw std::logic_error("Json::set: not an object");
+    for (auto &member : obj_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &member : obj_)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+std::string
+Json::quote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+std::string
+formatNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";  // JSON has no NaN/Inf.
+    char buf[40];
+    if (v == std::floor(v) && std::abs(v) < 9.0e15)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+}  // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int level) const
+{
+    const bool pretty = indent >= 0;
+    const std::string pad(pretty ? static_cast<size_t>(indent * (level + 1))
+                                 : 0,
+                          ' ');
+    const std::string closePad(pretty ? static_cast<size_t>(indent * level)
+                                      : 0,
+                               ' ');
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        out += formatNumber(num_);
+        break;
+      case Type::String:
+        out += quote(str_);
+        break;
+      case Type::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            if (pretty) {
+                out += '\n';
+                out += pad;
+            }
+            arr_[i].dumpTo(out, indent, level + 1);
+        }
+        if (pretty) {
+            out += '\n';
+            out += closePad;
+        }
+        out += ']';
+        break;
+      case Type::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            if (pretty) {
+                out += '\n';
+                out += pad;
+            }
+            out += quote(obj_[i].first);
+            out += pretty ? ": " : ":";
+            obj_[i].second.dumpTo(out, indent, level + 1);
+        }
+        if (pretty) {
+            out += '\n';
+            out += closePad;
+        }
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string view of the input. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json parseDocument()
+    {
+        Json v = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::invalid_argument("Json::parse at offset " +
+                                    std::to_string(pos_) + ": " + what);
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char *lit)
+    {
+        size_t n = 0;
+        while (lit[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json parseValue()
+    {
+        skipWhitespace();
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return Json(parseString());
+        if (c == 't') {
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return Json(true);
+        }
+        if (c == 'f') {
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return Json(false);
+        }
+        if (c == 'n') {
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return Json();
+        }
+        return parseNumber();
+    }
+
+    Json parseNumber()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        try {
+            size_t used = 0;
+            const double v = std::stod(text_.substr(start, pos_ - start),
+                                       &used);
+            if (used != pos_ - start)
+                fail("malformed number");
+            return Json(v);
+        } catch (const std::logic_error &) {
+            fail("malformed number");
+        }
+    }
+
+    void appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                appendUtf8(out, code);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    Json parseArray()
+    {
+        expect('[');
+        Json out = Json::array();
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            out.push(parseValue());
+            skipWhitespace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return out;
+            }
+            fail("expected ',' or ']'");
+        }
+    }
+
+    Json parseObject()
+    {
+        expect('{');
+        Json out = Json::object();
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            skipWhitespace();
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            out.set(key, parseValue());
+            skipWhitespace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return out;
+            }
+            fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+}  // namespace obs
+}  // namespace geyser

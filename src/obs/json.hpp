@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A minimal ordered JSON value: enough of a writer/parser for the
+ * observability exporters (Chrome trace_event files, JSONL metric logs,
+ * structured run reports) and for round-trip validation in tests. Object
+ * keys keep insertion order so reports stay human-readable and diffable.
+ * Not a general-purpose JSON library: numbers are doubles, duplicate
+ * keys are last-write-wins, and inputs larger than memory are out of
+ * scope.
+ */
+#ifndef GEYSER_OBS_JSON_HPP
+#define GEYSER_OBS_JSON_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace geyser {
+namespace obs {
+
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double v) : type_(Type::Number), num_(v) {}
+    Json(int v) : type_(Type::Number), num_(v) {}
+    Json(long v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+    Json(long long v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Json array() { Json j; j.type_ = Type::Array; return j; }
+    static Json object() { Json j; j.type_ = Type::Object; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool boolean() const { return bool_; }
+    double number() const { return num_; }
+    const std::string &str() const { return str_; }
+
+    /** Array elements (empty unless type() == Array). */
+    const std::vector<Json> &items() const { return arr_; }
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return obj_;
+    }
+    size_t size() const
+    {
+        return type_ == Type::Array ? arr_.size() : obj_.size();
+    }
+
+    /** Append to an array (converts a Null value into an array). */
+    void push(Json v);
+
+    /** Set an object member (converts a Null value into an object). */
+    void set(const std::string &key, Json v);
+
+    /** Member lookup; nullptr if absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    /**
+     * Serialize. indent < 0 emits the compact single-line form; >= 0
+     * pretty-prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Parse a complete JSON document; throws std::invalid_argument. */
+    static Json parse(const std::string &text);
+
+    /** Escape and quote a string as a JSON literal. */
+    static std::string quote(const std::string &s);
+
+  private:
+    void dumpTo(std::string &out, int indent, int level) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace obs
+}  // namespace geyser
+
+#endif  // GEYSER_OBS_JSON_HPP

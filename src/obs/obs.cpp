@@ -1,0 +1,409 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace geyser {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+thread_local int t_depth = 0;
+}
+
+int
+pushSpanDepth()
+{
+    return t_depth++;
+}
+
+void
+popSpanDepth()
+{
+    --t_depth;
+}
+
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** All shared collection state, one mutex. Metric maps are node-based so
+ *  references survive later insertions; reset() zeroes in place. */
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, Histogram> histograms;
+    std::vector<TraceEvent> events;
+    std::map<int, std::string> threadNames;
+    Clock::time_point epoch = Clock::now();
+    std::atomic<int> nextTid{0};
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+thread_local int t_tid = -1;
+
+void
+record(TraceEvent &&event)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.events.push_back(std::move(event));
+}
+
+}  // namespace
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.events.clear();
+    for (auto &c : r.counters)
+        c.second.reset();
+    for (auto &g : r.gauges)
+        g.second.reset();
+    for (auto &h : r.histograms)
+        h.second.reset();
+    r.epoch = Clock::now();
+}
+
+uint64_t
+nowMicros()
+{
+    const auto d = Clock::now() - registry().epoch;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+int
+currentThreadId()
+{
+    if (t_tid < 0)
+        t_tid = registry().nextTid.fetch_add(1, std::memory_order_relaxed);
+    return t_tid;
+}
+
+void
+setThreadName(const std::string &name)
+{
+    const int tid = currentThreadId();
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.threadNames[tid] = name;
+}
+
+void
+Span::begin(const char *name, const char *category)
+{
+    active_ = true;
+    name_ = name;
+    category_ = category;
+    depth_ = detail::pushSpanDepth();
+    start_ = nowMicros();
+}
+
+void
+Span::end()
+{
+    const uint64_t stop = nowMicros();
+    detail::popSpanDepth();
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.phase = 'X';
+    event.tsMicros = start_;
+    event.durMicros = stop - start_;
+    event.tid = currentThreadId();
+    event.depth = depth_;
+    event.numArgs = std::move(numArgs_);
+    event.strArgs = std::move(strArgs_);
+    record(std::move(event));
+}
+
+double
+Histogram::bucketUpperBound(int i)
+{
+    return std::ldexp(1.0, i);  // 2^i; bucket 0 is (-inf, 1).
+}
+
+void
+Histogram::record(double value)
+{
+    if (!enabled())
+        return;
+    int bucket = 0;
+    if (value >= 1.0)
+        bucket = std::min(kBuckets - 1,
+                          1 + static_cast<int>(std::floor(std::log2(value))));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    ++buckets_[bucket];
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot s;
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    s.buckets.assign(buckets_, buckets_ + kBuckets);
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+    std::fill(buckets_, buckets_ + kBuckets, 0L);
+}
+
+double
+Histogram::Snapshot::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    const double target = p * static_cast<double>(count);
+    long seen = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (static_cast<double>(seen) >= target)
+            return std::min(max, bucketUpperBound(static_cast<int>(i)));
+    }
+    return max;
+}
+
+Counter &
+counter(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.counters[name];
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.gauges[name];
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.histograms[name];
+}
+
+void
+counterEvent(const char *name, double value)
+{
+    if (!enabled())
+        return;
+    TraceEvent event;
+    event.name = name;
+    event.category = "metric";
+    event.phase = 'C';
+    event.tsMicros = nowMicros();
+    event.tid = currentThreadId();
+    event.numArgs.emplace_back("value", value);
+    record(std::move(event));
+}
+
+std::vector<TraceEvent>
+events()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.events;
+}
+
+MetricsSnapshot
+metricsSnapshot()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    MetricsSnapshot s;
+    for (const auto &c : r.counters)
+        s.counters.emplace_back(c.first, c.second.value());
+    for (const auto &g : r.gauges)
+        s.gauges.emplace_back(g.first, g.second.value());
+    for (const auto &h : r.histograms)
+        s.histograms.emplace_back(h.first, h.second.snapshot());
+    return s;
+}
+
+std::vector<std::pair<int, std::string>>
+threadNames()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return {r.threadNames.begin(), r.threadNames.end()};
+}
+
+namespace {
+
+Json
+argsJson(const TraceEvent &event)
+{
+    Json args = Json::object();
+    for (const auto &a : event.numArgs)
+        args.set(a.first, a.second);
+    for (const auto &a : event.strArgs)
+        args.set(a.first, a.second);
+    return args;
+}
+
+}  // namespace
+
+std::string
+chromeTraceJson()
+{
+    Json trace = Json::array();
+    // Thread-name metadata first, so viewers label tracks immediately.
+    for (const auto &tn : threadNames()) {
+        Json m = Json::object();
+        m.set("ph", "M");
+        m.set("pid", 1);
+        m.set("tid", tn.first);
+        m.set("name", "thread_name");
+        Json args = Json::object();
+        args.set("name", tn.second);
+        m.set("args", std::move(args));
+        trace.push(std::move(m));
+    }
+    for (const auto &event : events()) {
+        Json e = Json::object();
+        e.set("name", event.name);
+        e.set("cat", event.category);
+        e.set("ph", std::string(1, event.phase));
+        e.set("pid", 1);
+        e.set("tid", event.tid);
+        e.set("ts", static_cast<double>(event.tsMicros));
+        if (event.phase == 'X')
+            e.set("dur", static_cast<double>(event.durMicros));
+        if (event.phase == 'C') {
+            e.set("args", argsJson(event));
+        } else if (!event.numArgs.empty() || !event.strArgs.empty()) {
+            e.set("args", argsJson(event));
+        }
+        trace.push(std::move(e));
+    }
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(trace));
+    doc.set("displayTimeUnit", "ms");
+    return doc.dump();
+}
+
+void
+writeChromeTrace(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("writeChromeTrace: cannot open " + path);
+    out << chromeTraceJson() << "\n";
+}
+
+std::string
+metricsJsonl()
+{
+    std::string out;
+    for (const auto &event : events()) {
+        Json line = Json::object();
+        line.set("type", event.phase == 'C' ? "counter_sample" : "span");
+        line.set("name", event.name);
+        line.set("cat", event.category);
+        line.set("tid", event.tid);
+        line.set("depth", event.depth);
+        line.set("ts_us", static_cast<double>(event.tsMicros));
+        if (event.phase == 'X')
+            line.set("dur_us", static_cast<double>(event.durMicros));
+        const Json args = argsJson(event);
+        if (args.size() > 0)
+            line.set("args", args);
+        out += line.dump();
+        out += '\n';
+    }
+    const MetricsSnapshot snap = metricsSnapshot();
+    for (const auto &c : snap.counters) {
+        Json line = Json::object();
+        line.set("type", "counter");
+        line.set("name", c.first);
+        line.set("value", c.second);
+        out += line.dump();
+        out += '\n';
+    }
+    for (const auto &g : snap.gauges) {
+        Json line = Json::object();
+        line.set("type", "gauge");
+        line.set("name", g.first);
+        line.set("value", g.second);
+        out += line.dump();
+        out += '\n';
+    }
+    for (const auto &h : snap.histograms) {
+        Json line = Json::object();
+        line.set("type", "histogram");
+        line.set("name", h.first);
+        line.set("count", h.second.count);
+        line.set("sum", h.second.sum);
+        line.set("min", h.second.min);
+        line.set("max", h.second.max);
+        line.set("mean", h.second.mean());
+        line.set("p50", h.second.percentile(0.5));
+        line.set("p99", h.second.percentile(0.99));
+        out += line.dump();
+        out += '\n';
+    }
+    return out;
+}
+
+void
+writeMetricsJsonl(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("writeMetricsJsonl: cannot open " + path);
+    out << metricsJsonl();
+}
+
+}  // namespace obs
+}  // namespace geyser

@@ -1,0 +1,135 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace geyser {
+namespace obs {
+
+std::string
+gitSha()
+{
+#ifdef GEYSER_GIT_SHA
+    return GEYSER_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+utcTimestamp()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+void
+RunReport::setConfig(const std::string &key, Json value)
+{
+    config_.set(key, std::move(value));
+}
+
+void
+RunReport::addCircuit(Json row)
+{
+    circuits_.push(std::move(row));
+}
+
+namespace {
+
+/** Sum the recorded 'X' spans by name: count, total and max wall time. */
+Json
+stagesJson()
+{
+    struct Agg
+    {
+        long count = 0;
+        uint64_t totalUs = 0;
+        uint64_t maxUs = 0;
+    };
+    std::map<std::string, Agg> byName;
+    for (const auto &event : events()) {
+        if (event.phase != 'X')
+            continue;
+        Agg &a = byName[event.name];
+        ++a.count;
+        a.totalUs += event.durMicros;
+        a.maxUs = std::max(a.maxUs, event.durMicros);
+    }
+    Json stages = Json::array();
+    for (const auto &entry : byName) {
+        Json s = Json::object();
+        s.set("name", entry.first);
+        s.set("count", entry.second.count);
+        s.set("wallMs", static_cast<double>(entry.second.totalUs) / 1000.0);
+        s.set("maxMs", static_cast<double>(entry.second.maxUs) / 1000.0);
+        stages.push(std::move(s));
+    }
+    return stages;
+}
+
+Json
+metricsJson()
+{
+    const MetricsSnapshot snap = metricsSnapshot();
+    Json counters = Json::object();
+    for (const auto &c : snap.counters)
+        counters.set(c.first, c.second);
+    Json gauges = Json::object();
+    for (const auto &g : snap.gauges)
+        gauges.set(g.first, g.second);
+    Json histograms = Json::object();
+    for (const auto &h : snap.histograms) {
+        Json v = Json::object();
+        v.set("count", h.second.count);
+        v.set("sum", h.second.sum);
+        v.set("min", h.second.min);
+        v.set("max", h.second.max);
+        v.set("mean", h.second.mean());
+        v.set("p50", h.second.percentile(0.5));
+        v.set("p99", h.second.percentile(0.99));
+        histograms.set(h.first, std::move(v));
+    }
+    Json metrics = Json::object();
+    metrics.set("counters", std::move(counters));
+    metrics.set("gauges", std::move(gauges));
+    metrics.set("histograms", std::move(histograms));
+    return metrics;
+}
+
+}  // namespace
+
+Json
+RunReport::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("tool", tool_);
+    doc.set("timestamp", utcTimestamp());
+    doc.set("gitSha", gitSha());
+    doc.set("config", config_);
+    doc.set("circuits", circuits_);
+    doc.set("stages", stagesJson());
+    doc.set("metrics", metricsJson());
+    return doc;
+}
+
+void
+RunReport::write(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("RunReport::write: cannot open " + path);
+    out << toJson().dump(2) << "\n";
+}
+
+}  // namespace obs
+}  // namespace geyser

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Structured per-run report: the machine-readable summary a bench binary
+ * (or any harness) writes after a run — tool name, UTC timestamp, git
+ * revision, configuration, free-form per-circuit rows, per-stage wall
+ * times aggregated from the recorded trace spans, and the final metric
+ * values. Successive reports form a perf trajectory that regressions can
+ * be diffed against (see bench/common's --report flag).
+ */
+#ifndef GEYSER_OBS_REPORT_HPP
+#define GEYSER_OBS_REPORT_HPP
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace geyser {
+namespace obs {
+
+/** Git revision baked in at configure time ("unknown" outside a repo). */
+std::string gitSha();
+
+/** Current UTC time as ISO-8601 ("2026-08-06T12:34:56Z"). */
+std::string utcTimestamp();
+
+class RunReport
+{
+  public:
+    explicit RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+    /** Record one configuration key (run scale, env knobs, ...). */
+    void setConfig(const std::string &key, Json value);
+
+    /** Append one per-circuit row (free-form object with a "name"). */
+    void addCircuit(Json row);
+
+    /**
+     * Assemble the full report. Stage wall times and metrics are
+     * aggregated from the obs recorder at call time, so enable
+     * collection before the run to populate them.
+     */
+    Json toJson() const;
+
+    /** Write toJson() pretty-printed to `path`. */
+    void write(const std::string &path) const;
+
+  private:
+    std::string tool_;
+    Json config_ = Json::object();
+    Json circuits_ = Json::array();
+};
+
+}  // namespace obs
+}  // namespace geyser
+
+#endif  // GEYSER_OBS_REPORT_HPP

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace geyser {
 
 DensityMatrix::DensityMatrix(int num_qubits)
@@ -191,6 +193,11 @@ DensityMatrix::purity() const
 Distribution
 exactNoisyDistribution(const Circuit &circuit, const NoiseModel &noise)
 {
+    obs::Span span("sim.density_matrix", "sim");
+    span.arg("qubits", circuit.numQubits());
+    span.arg("gates", static_cast<double>(circuit.size()));
+    static obs::Counter &runs = obs::counter("sim.density_matrix_runs");
+    runs.add();
     DensityMatrix dm(circuit.numQubits());
     dm.applyNoisy(circuit, noise);
     return dm.probabilities();

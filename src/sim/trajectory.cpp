@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace geyser {
 
@@ -79,6 +80,13 @@ noisyDistribution(const Circuit &circuit, const NoiseModel &noise,
         return idealDistribution(circuit);
 
     const int traj = std::max(1, config.trajectories);
+    obs::Span span("sim.trajectories", "sim");
+    span.arg("trajectories", traj);
+    span.arg("qubits", circuit.numQubits());
+    span.arg("parallel", config.parallel ? 1.0 : 0.0);
+    static obs::Counter &trajectoriesRun =
+        obs::counter("sim.trajectories_run");
+    trajectoriesRun.add(traj);
     // Precompute restriction zones once when crosstalk is enabled.
     std::vector<std::vector<int>> zones;
     if (noise.crosstalkPhase > 0.0 && config.topology != nullptr) {
@@ -120,6 +128,12 @@ noisyDistribution(const Circuit &circuit, const NoiseModel &noise,
             total[i] += p[i];
     for (auto &v : total)
         v /= traj;
+    if (span.active()) {
+        const double seconds =
+            static_cast<double>(span.elapsedMicros()) * 1e-6;
+        if (seconds > 0.0)
+            span.arg("traj_per_sec", traj / seconds);
+    }
     return total;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "transpile/zyz.hpp"
 
 namespace geyser {
@@ -73,8 +74,15 @@ fuseU3Pass(Circuit &circuit, bool drop_identity)
         flush(q);
 
     const bool changed = fusedRuns > 0 || out.size() != before;
-    if (changed)
+    if (changed) {
+        static obs::Counter &fused = obs::counter("transpile.u3_fused");
+        static obs::Counter &dropped =
+            obs::counter("transpile.gates_dropped");
+        fused.add(fusedRuns);
+        if (out.size() < before)
+            dropped.add(static_cast<long>(before - out.size()));
         circuit = std::move(out);
+    }
     return changed;
 }
 
@@ -116,9 +124,16 @@ cancelCzPass(Circuit &circuit)
 
     if (changed) {
         Circuit out(circuit.numQubits());
-        for (size_t i = 0; i < gates.size(); ++i)
-            if (!removed[i])
+        size_t cancelled = 0;
+        for (size_t i = 0; i < gates.size(); ++i) {
+            if (removed[i])
+                ++cancelled;
+            else
                 out.append(gates[i]);
+        }
+        static obs::Counter &counter =
+            obs::counter("transpile.cz_cancelled");
+        counter.add(static_cast<long>(cancelled / 2));
         circuit = std::move(out);
     }
     return changed;
@@ -127,13 +142,19 @@ cancelCzPass(Circuit &circuit)
 void
 optimize(Circuit &circuit)
 {
+    obs::Span span("transpile.optimize", "transpile");
+    const size_t before = circuit.size();
     constexpr int kMaxRounds = 20;
-    for (int round = 0; round < kMaxRounds; ++round) {
+    int rounds = 0;
+    for (; rounds < kMaxRounds; ++rounds) {
         bool changed = fuseU3Pass(circuit, true);
         changed = cancelCzPass(circuit) || changed;
         if (!changed)
             break;
     }
+    span.arg("rounds", rounds);
+    span.arg("gatesBefore", static_cast<double>(before));
+    span.arg("gatesAfter", static_cast<double>(circuit.size()));
 }
 
 }  // namespace geyser

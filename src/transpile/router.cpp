@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "transpile/basis.hpp"
 
 namespace geyser {
@@ -58,6 +59,8 @@ route(const Circuit &circuit, const Topology &topo,
             l2a[static_cast<size_t>(ly)] = x;
         std::swap(a2l[static_cast<size_t>(x)], a2l[static_cast<size_t>(y)]);
         ++result.swapsInserted;
+        static obs::Counter &swaps = obs::counter("route.swaps");
+        swaps.add();
     };
 
     for (const auto &g : circuit.gates()) {

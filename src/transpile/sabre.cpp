@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "transpile/basis.hpp"
 
 namespace geyser {
@@ -143,6 +144,8 @@ routeSabre(const Circuit &circuit, const Topology &topo,
         decay[static_cast<size_t>(atom_a)] += options.decay;
         decay[static_cast<size_t>(atom_b)] += options.decay;
         ++result.swapsInserted;
+        static obs::Counter &swaps = obs::counter("sabre.swaps");
+        swaps.add();
     };
 
     int sinceProgress = 0;
@@ -185,6 +188,8 @@ routeSabre(const Circuit &circuit, const Topology &topo,
         }
 
         const auto look = frontier.lookahead(options.lookaheadWindow);
+        static obs::Counter &lookaheadHits = obs::counter("sabre.lookahead_hits");
+        lookaheadHits.add(static_cast<long>(look.size()));
         double bestScore = std::numeric_limits<double>::infinity();
         std::array<int, 2> bestSwap{-1, -1};
         for (const auto &edge : candidates) {

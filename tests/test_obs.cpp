@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Tests for the observability subsystem (src/obs): the enable flag and
+ * RAII scopes, span nesting on one thread and across pool workers,
+ * counter/gauge/histogram semantics, the JSON value class, both
+ * exporters (Chrome trace_event and JSONL), the run report, the
+ * thread-pool activity counters, the pipeline wall-time fields and
+ * their cache round-trip, and a smoke test that the disabled hooks
+ * stay in the nanosecond range.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "algos/algos.hpp"
+#include "common/thread_pool.hpp"
+#include "geyser/pipeline.hpp"
+#include "io/serialize.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+
+namespace geyser {
+namespace {
+
+/** Every obs test runs against fresh, enabled state and leaves it off. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::setEnabled(false);
+        obs::reset();
+    }
+    void TearDown() override
+    {
+        obs::setEnabled(false);
+        obs::reset();
+    }
+};
+
+const obs::TraceEvent *
+findEvent(const std::vector<obs::TraceEvent> &events, const std::string &name)
+{
+    for (const auto &e : events)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+TEST_F(ObsTest, DisabledByDefaultAndScopeRestores)
+{
+    EXPECT_FALSE(obs::enabled());
+    {
+        obs::EnabledScope scope(true);
+        EXPECT_TRUE(obs::enabled());
+        {
+            // A nested no-op scope must not disable the enclosing session.
+            obs::EnabledScope inner(false);
+            EXPECT_TRUE(obs::enabled());
+        }
+        EXPECT_TRUE(obs::enabled());
+    }
+    EXPECT_FALSE(obs::enabled());
+}
+
+TEST_F(ObsTest, SpansRecordNothingWhileDisabled)
+{
+    {
+        obs::Span span("ghost");
+        EXPECT_FALSE(span.active());
+        span.arg("ignored", 1.0);
+    }
+    obs::counter("ghost.counter").add(5);
+    obs::gauge("ghost.gauge").set(2.5);
+    obs::histogram("ghost.hist").record(10.0);
+    EXPECT_TRUE(obs::events().empty());
+    EXPECT_EQ(obs::counter("ghost.counter").value(), 0);
+    EXPECT_EQ(obs::gauge("ghost.gauge").value(), 0.0);
+    EXPECT_EQ(obs::histogram("ghost.hist").snapshot().count, 0);
+}
+
+TEST_F(ObsTest, SpanNestingDepthsAndContainment)
+{
+    obs::setEnabled(true);
+    {
+        obs::Span outer("outer");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        {
+            obs::Span inner("inner");
+            inner.arg("key", 42.0);
+            inner.arg("label", "value");
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        EXPECT_GT(outer.elapsedMicros(), 0u);
+    }
+    const auto events = obs::events();
+    ASSERT_EQ(events.size(), 2u);
+    const auto *outer = findEvent(events, "outer");
+    const auto *inner = findEvent(events, "inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->phase, 'X');
+    EXPECT_EQ(outer->depth, 0);
+    EXPECT_EQ(inner->depth, 1);
+    EXPECT_EQ(outer->tid, inner->tid);
+    // The inner interval is contained in the outer one.
+    EXPECT_GE(inner->tsMicros, outer->tsMicros);
+    EXPECT_LE(inner->tsMicros + inner->durMicros,
+              outer->tsMicros + outer->durMicros);
+    ASSERT_EQ(inner->numArgs.size(), 1u);
+    EXPECT_EQ(inner->numArgs[0].first, "key");
+    EXPECT_EQ(inner->numArgs[0].second, 42.0);
+    ASSERT_EQ(inner->strArgs.size(), 1u);
+    EXPECT_EQ(inner->strArgs[0].second, "value");
+}
+
+TEST_F(ObsTest, SpansAcrossThreadsGetDistinctThreadIds)
+{
+    obs::setEnabled(true);
+    // A private 2-worker pool (the machine may have one core): a barrier
+    // inside the first two tasks guarantees both workers participate.
+    ThreadPool pool(2);
+    std::mutex m;
+    std::condition_variable cv;
+    int arrived = 0;
+    for (int i = 0; i < 2; ++i) {
+        pool.submit([&] {
+            obs::Span span("worker.task", "test");
+            std::unique_lock<std::mutex> lock(m);
+            ++arrived;
+            cv.notify_all();
+            cv.wait(lock, [&] { return arrived == 2; });
+        });
+    }
+    pool.waitIdle();
+    std::set<int> tids;
+    for (const auto &e : obs::events())
+        if (e.name == "worker.task")
+            tids.insert(e.tid);
+    EXPECT_EQ(tids.size(), 2u);
+    // Workers named themselves for the trace exports.
+    int named = 0;
+    for (const auto &[tid, name] : obs::threadNames())
+        if (name.rfind("geyser-wk", 0) == 0 && tids.count(tid))
+            ++named;
+    EXPECT_EQ(named, 2);
+}
+
+TEST_F(ObsTest, CounterGaugeSemantics)
+{
+    obs::setEnabled(true);
+    obs::Counter &c = obs::counter("test.counter");
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+    EXPECT_EQ(&c, &obs::counter("test.counter"))
+        << "registry references must be stable";
+    obs::gauge("test.gauge").set(2.5);
+    EXPECT_EQ(obs::gauge("test.gauge").value(), 2.5);
+    obs::reset();
+    EXPECT_EQ(c.value(), 0) << "reset zeroes in place";
+    EXPECT_EQ(obs::gauge("test.gauge").value(), 0.0);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndPercentiles)
+{
+    obs::setEnabled(true);
+    obs::Histogram &h = obs::histogram("test.hist");
+    for (int i = 0; i < 99; ++i)
+        h.record(2.0);  // Bucket [2,4).
+    h.record(1000.0);   // One far outlier.
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 100);
+    EXPECT_DOUBLE_EQ(snap.min, 2.0);
+    EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+    EXPECT_NEAR(snap.mean(), (99 * 2.0 + 1000.0) / 100.0, 1e-9);
+    // p50 lands in the [2,4) bucket; p100 in the outlier's bucket.
+    EXPECT_LE(snap.percentile(0.5), 4.0);
+    EXPECT_GE(snap.percentile(1.0), 1000.0);
+    long total = 0;
+    for (const long b : snap.buckets)
+        total += b;
+    EXPECT_EQ(total, snap.count);
+    // Bucket upper bounds are the base-2 edges.
+    EXPECT_DOUBLE_EQ(obs::Histogram::bucketUpperBound(0), 1.0);
+    EXPECT_DOUBLE_EQ(obs::Histogram::bucketUpperBound(3), 8.0);
+}
+
+TEST_F(ObsTest, JsonRoundTrip)
+{
+    obs::Json root = obs::Json::object();
+    root.set("string", "with \"quotes\" and \n newline");
+    root.set("number", 12345.0);
+    root.set("flag", true);
+    root.set("nothing", obs::Json());
+    obs::Json arr = obs::Json::array();
+    arr.push(1.0);
+    arr.push("two");
+    root.set("list", std::move(arr));
+
+    const obs::Json back = obs::Json::parse(root.dump());
+    ASSERT_NE(back.find("string"), nullptr);
+    EXPECT_EQ(back.find("string")->str(), "with \"quotes\" and \n newline");
+    EXPECT_EQ(back.find("number")->number(), 12345.0);
+    EXPECT_TRUE(back.find("flag")->boolean());
+    EXPECT_TRUE(back.find("nothing")->isNull());
+    EXPECT_EQ(back.find("list")->size(), 2u);
+    // Pretty printing parses back to the same structure.
+    EXPECT_EQ(obs::Json::parse(root.dump(2)).dump(), back.dump());
+    EXPECT_THROW(obs::Json::parse("{broken"), std::invalid_argument);
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsValidAndComplete)
+{
+    obs::setEnabled(true);
+    obs::setThreadName("test-main");
+    {
+        obs::Span span("alpha", "cat");
+        span.arg("n", 3.0);
+        obs::Span child("beta", "cat");
+    }
+    obs::counterEvent("queue", 7.0);
+
+    const obs::Json doc = obs::Json::parse(obs::chromeTraceJson());
+    const obs::Json *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->type(), obs::Json::Type::Array);
+
+    bool sawAlpha = false, sawBeta = false, sawCounter = false,
+         sawThreadName = false;
+    for (const obs::Json &e : events->items()) {
+        // Chrome trace_event required keys.
+        ASSERT_NE(e.find("name"), nullptr);
+        ASSERT_NE(e.find("ph"), nullptr);
+        ASSERT_NE(e.find("pid"), nullptr);
+        ASSERT_NE(e.find("tid"), nullptr);
+        const std::string ph = e.find("ph")->str();
+        const std::string name = e.find("name")->str();
+        if (ph == "X") {
+            ASSERT_NE(e.find("ts"), nullptr);
+            ASSERT_NE(e.find("dur"), nullptr);
+            if (name == "alpha") {
+                sawAlpha = true;
+                const obs::Json *args = e.find("args");
+                ASSERT_NE(args, nullptr);
+                EXPECT_EQ(args->find("n")->number(), 3.0);
+            }
+            sawBeta = sawBeta || name == "beta";
+        } else if (ph == "C") {
+            sawCounter = sawCounter || name == "queue";
+        } else if (ph == "M" && name == "thread_name") {
+            const obs::Json *args = e.find("args");
+            ASSERT_NE(args, nullptr);
+            sawThreadName =
+                sawThreadName || args->find("name")->str() == "test-main";
+        }
+    }
+    EXPECT_TRUE(sawAlpha);
+    EXPECT_TRUE(sawBeta);
+    EXPECT_TRUE(sawCounter);
+    EXPECT_TRUE(sawThreadName);
+}
+
+TEST_F(ObsTest, MetricsJsonlEveryLineParsesAndCoversMetrics)
+{
+    obs::setEnabled(true);
+    {
+        obs::Span span("gamma");
+    }
+    obs::counter("test.jsonl_counter").add(9);
+    obs::gauge("test.jsonl_gauge").set(1.5);
+    obs::histogram("test.jsonl_hist").record(4.0);
+
+    std::set<std::string> kinds;
+    std::set<std::string> names;
+    std::istringstream in(obs::metricsJsonl());
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const obs::Json row = obs::Json::parse(line);
+        ASSERT_NE(row.find("type"), nullptr) << line;
+        kinds.insert(row.find("type")->str());
+        if (row.find("name"))
+            names.insert(row.find("name")->str());
+    }
+    EXPECT_TRUE(kinds.count("span"));
+    EXPECT_TRUE(kinds.count("counter"));
+    EXPECT_TRUE(kinds.count("gauge"));
+    EXPECT_TRUE(kinds.count("histogram"));
+    EXPECT_TRUE(names.count("gamma"));
+    EXPECT_TRUE(names.count("test.jsonl_counter"));
+    EXPECT_TRUE(names.count("test.jsonl_hist"));
+}
+
+TEST_F(ObsTest, RunReportAggregatesStagesAndMetrics)
+{
+    obs::setEnabled(true);
+    {
+        obs::Span span("stage.work");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    obs::counter("report.counter").add(3);
+
+    obs::RunReport report("test-tool");
+    report.setConfig("mode", "unit");
+    obs::Json row = obs::Json::object();
+    row.set("name", "circ");
+    report.addCircuit(std::move(row));
+
+    const obs::Json doc = report.toJson();
+    EXPECT_EQ(doc.find("tool")->str(), "test-tool");
+    EXPECT_FALSE(doc.find("gitSha")->str().empty());
+    EXPECT_NE(doc.find("timestamp"), nullptr);
+    EXPECT_EQ(doc.find("config")->find("mode")->str(), "unit");
+    EXPECT_EQ(doc.find("circuits")->size(), 1u);
+    const obs::Json *stages = doc.find("stages");
+    ASSERT_NE(stages, nullptr);
+    const obs::Json *stage = nullptr;
+    for (const obs::Json &s : stages->items())
+        if (s.find("name") && s.find("name")->str() == "stage.work")
+            stage = &s;
+    ASSERT_NE(stage, nullptr);
+    EXPECT_EQ(stage->find("count")->number(), 1.0);
+    EXPECT_GT(stage->find("wallMs")->number(), 0.0);
+    // Counters land in metrics.counters.
+    const obs::Json *counters = doc.find("metrics")->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->find("report.counter")->number(), 3.0);
+
+    // write() produces a parseable file.
+    const std::string path = ::testing::TempDir() + "obs_report.json";
+    report.write(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NO_THROW(obs::Json::parse(buf.str()));
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, ThreadPoolCountersTrackSubmittedAndCompleted)
+{
+    ThreadPool pool(2);
+    constexpr int kTasks = 32;
+    std::atomic<int> ran{0};
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.waitIdle();
+    const PoolStats stats = pool.snapshot();
+    EXPECT_EQ(ran.load(), kTasks);
+    EXPECT_EQ(stats.submitted, kTasks);
+    EXPECT_EQ(stats.completed, kTasks);
+    EXPECT_EQ(stats.inFlight, 0);
+    EXPECT_EQ(stats.queued, 0);
+    EXPECT_EQ(stats.workers, 2);
+    // Utilization over a fake 1-second interval is a sane fraction.
+    const PoolStats start;
+    EXPECT_GE(stats.utilizationSince(start, 1e6), 0.0);
+}
+
+TEST_F(ObsTest, PipelineTraceOptionRecordsNestedStages)
+{
+    PipelineOptions options;
+    options.trace = true;
+    const CompileResult result = compileGeyser(adderBenchmark(1, true),
+                                               options);
+    EXPECT_FALSE(obs::enabled()) << "EnabledScope must restore state";
+    const auto events = obs::events();
+    const auto *compile = findEvent(events, "compile");
+    const auto *transpile = findEvent(events, "transpile");
+    const auto *blocking = findEvent(events, "blocking");
+    const auto *compose = findEvent(events, "compose");
+    ASSERT_NE(compile, nullptr);
+    ASSERT_NE(transpile, nullptr);
+    ASSERT_NE(blocking, nullptr);
+    ASSERT_NE(compose, nullptr);
+    EXPECT_NE(findEvent(events, "compose.block"), nullptr);
+    // Stage spans nest inside the top-level compile span.
+    for (const auto *stage : {transpile, blocking, compose}) {
+        EXPECT_GE(stage->tsMicros, compile->tsMicros);
+        EXPECT_LE(stage->tsMicros + stage->durMicros,
+                  compile->tsMicros + compile->durMicros);
+    }
+    EXPECT_GT(result.blockCount, 0);
+}
+
+TEST_F(ObsTest, CompileResultWallTimesPopulatedUnconditionally)
+{
+    // No tracing enabled: wall times must still be measured.
+    const CompileResult gey = compileGeyser(adderBenchmark(1, true));
+    EXPECT_GT(gey.totalMs, 0.0);
+    EXPECT_GT(gey.transpileMs, 0.0);
+    EXPECT_GT(gey.blockingMs, 0.0);
+    EXPECT_GT(gey.composeMs, 0.0);
+    EXPECT_LE(gey.transpileMs + gey.blockingMs + gey.composeMs,
+              gey.totalMs * 1.5);
+
+    const CompileResult base = compileBaseline(adderBenchmark(1, true));
+    EXPECT_GT(base.totalMs, 0.0);
+    EXPECT_EQ(base.blockingMs, 0.0) << "baseline never runs blocking";
+    EXPECT_EQ(base.composeMs, 0.0);
+}
+
+TEST_F(ObsTest, SerializeRoundTripsWallTimes)
+{
+    const Circuit logical = adderBenchmark(1, true);
+    const CompileResult result = compileGeyser(logical);
+    const std::string path = ::testing::TempDir() + "obs_times_cache.txt";
+    saveCompileResult(path, result);
+    const auto loaded = loadCompileResult(path, logical);
+    std::remove(path.c_str());
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_DOUBLE_EQ(loaded->transpileMs, result.transpileMs);
+    EXPECT_DOUBLE_EQ(loaded->blockingMs, result.blockingMs);
+    EXPECT_DOUBLE_EQ(loaded->composeMs, result.composeMs);
+    EXPECT_DOUBLE_EQ(loaded->totalMs, result.totalMs);
+}
+
+TEST_F(ObsTest, DisabledHooksStayCheap)
+{
+    ASSERT_FALSE(obs::enabled());
+    obs::Counter &c = obs::counter("overhead.counter");
+    constexpr int kIters = 10'000'000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+        obs::Span span("overhead.span");
+        c.add();
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        kIters;
+    EXPECT_EQ(c.value(), 0);
+    // One span + one counter hook. Each is an atomic load and branch
+    // (~1 ns); 100 ns/pair leaves two orders of headroom for CI noise.
+    EXPECT_LT(ns, 100.0) << "disabled obs hooks cost " << ns
+                         << " ns per span+counter pair";
+}
+
+}  // namespace
+}  // namespace geyser

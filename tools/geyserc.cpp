@@ -21,6 +21,9 @@
  *   --noise <rate>         error rate for --evaluate (default 0.001)
  *   --trajectories <n>     trajectories for --evaluate (default 200)
  *   --quiet                suppress the statistics summary
+ *   --trace <file>         write a Chrome trace_event JSON of the run
+ *                          (open in chrome://tracing or ui.perfetto.dev)
+ *   --metrics <file>       write the JSONL span/metric log of the run
  */
 #include <cstdio>
 #include <cstring>
@@ -34,6 +37,7 @@
 #include "geyser/pipeline.hpp"
 #include "io/qasm_parser.hpp"
 #include "io/serialize.hpp"
+#include "obs/obs.hpp"
 #include "pulse/pulse.hpp"
 #include "verify/differential.hpp"
 #include "verify/equivalence.hpp"
@@ -52,7 +56,8 @@ usage(const char *argv0)
                  "  --technique baseline|optimap|geyser|superconducting\n"
                  "  --output <file>   --format qasm|text\n"
                  "  --evaluate        --noise <rate>  --trajectories <n>\n"
-                 "  --verify          --quiet\n",
+                 "  --verify          --quiet\n"
+                 "  --trace <file>    --metrics <file>\n",
                  argv0, argv0);
     std::exit(2);
 }
@@ -115,6 +120,7 @@ int
 main(int argc, char **argv)
 {
     std::string input, benchmark, output, format = "qasm";
+    std::string tracePath, metricsPath;
     Technique technique = Technique::Geyser;
     bool evaluate = false, quiet = false, draw = false, pulses = false;
     bool verifyMode = false;
@@ -151,6 +157,10 @@ main(int argc, char **argv)
                 trajectories = std::stoi(next());
             else if (arg == "--quiet")
                 quiet = true;
+            else if (arg == "--trace")
+                tracePath = next();
+            else if (arg == "--metrics")
+                metricsPath = next();
             else if (arg == "--help" || arg == "-h")
                 usage(argv[0]);
             else if (!arg.empty() && arg[0] == '-')
@@ -178,8 +188,29 @@ main(int argc, char **argv)
             logical = circuitFromQasm(text.str());
         }
 
-        if (verifyMode)
-            return runVerify(logical, noiseRate);
+        const bool tracing = !tracePath.empty() || !metricsPath.empty();
+        if (tracing) {
+            obs::setEnabled(true);
+            obs::setThreadName("main");
+        }
+        auto writeObs = [&] {
+            if (!tracePath.empty()) {
+                obs::writeChromeTrace(tracePath);
+                if (!quiet)
+                    std::fprintf(stderr,
+                                 "trace written to %s (open in "
+                                 "chrome://tracing or ui.perfetto.dev)\n",
+                                 tracePath.c_str());
+            }
+            if (!metricsPath.empty())
+                obs::writeMetricsJsonl(metricsPath);
+        };
+
+        if (verifyMode) {
+            const int rc = runVerify(logical, noiseRate);
+            writeObs();
+            return rc;
+        }
 
         const CompileResult result = compile(technique, logical);
 
@@ -214,6 +245,11 @@ main(int argc, char **argv)
             if (technique == Technique::Geyser)
                 std::fprintf(stderr, "blocks:        %d (%d composed)\n",
                              result.blockCount, result.composedBlockCount);
+            std::fprintf(stderr,
+                         "wall ms:       %.1f total (%.1f transpile, "
+                         "%.1f blocking, %.1f compose)\n",
+                         result.totalMs, result.transpileMs,
+                         result.blockingMs, result.composeMs);
         }
         if (draw)
             std::fprintf(stderr, "%s", drawCircuit(result.physical,
@@ -234,6 +270,7 @@ main(int argc, char **argv)
                                      cfg),
                          noiseRate);
         }
+        writeObs();
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "geyserc: %s\n", e.what());
