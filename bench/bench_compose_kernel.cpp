@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Microbenchmark of the rotosolve coordinate-probe kernel: the dense
+ * path (full Ansatz::overlapTrace per probe, as the optimizer ran
+ * before the incremental kernel) versus the environment-contraction
+ * AnsatzEvaluator (O(1) per probe after per-column folds). Both sides
+ * execute the exact probe pattern of one rotosolve sweep — two probes
+ * (angle = 0, pi) per coordinate plus the sweep's environment
+ * maintenance — so evaluations/sec are directly comparable.
+ *
+ * The binary first cross-checks the incremental kernel against the
+ * dense oracle (verify/kernel_check, 1e-12) and exits non-zero if the
+ * check fails or if the incremental kernel's throughput drops below
+ * the dense kernel's (the CI sanity floor — a regression guard, not a
+ * flaky absolute threshold).
+ *
+ * Flags: --report/--trace/--metrics as every bench binary.
+ * Env: GEYSER_KERNEL_BENCH_SECONDS  per-configuration measure time
+ *      (default 0.2).
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "common/rng.hpp"
+#include "compose/composer.hpp"
+#include "compose/evaluator.hpp"
+#include "obs/obs.hpp"
+#include "verify/kernel_check.hpp"
+
+namespace {
+
+using namespace geyser;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double
+measureSeconds()
+{
+    if (const char *env = std::getenv("GEYSER_KERNEL_BENCH_SECONDS"))
+        return std::max(0.01, std::atof(env));
+    return 0.2;
+}
+
+struct KernelRate
+{
+    long probes = 0;
+    double seconds = 0.0;
+    double perSec() const { return probes / std::max(seconds, 1e-12); }
+};
+
+/** Dense baseline: one full overlapTrace per coordinate probe. */
+KernelRate
+denseRate(const Ansatz &ansatz, const Matrix &target,
+          std::vector<double> angles, double budget_s)
+{
+    KernelRate rate;
+    const auto t0 = Clock::now();
+    double sink = 0.0;
+    while ((rate.seconds = secondsSince(t0)) < budget_s) {
+        for (int i = 0; i < ansatz.numAngles(); ++i) {
+            const double saved = angles[static_cast<size_t>(i)];
+            angles[static_cast<size_t>(i)] = 0.0;
+            sink += std::abs(ansatz.overlapTrace(target, angles));
+            angles[static_cast<size_t>(i)] = kPi;
+            sink += std::abs(ansatz.overlapTrace(target, angles));
+            angles[static_cast<size_t>(i)] = saved;
+            rate.probes += 2;
+        }
+    }
+    rate.seconds = secondsSince(t0);
+    if (sink < 0.0)  // Defeat dead-code elimination.
+        std::printf("%f", sink);
+    return rate;
+}
+
+/** Incremental kernel: the same probe pattern through the evaluator. */
+KernelRate
+incrementalRate(const Ansatz &ansatz, const Matrix &target,
+                const std::vector<double> &angles, double budget_s)
+{
+    AnsatzEvaluator evaluator(ansatz, target);
+    evaluator.setAngles(angles);
+    KernelRate rate;
+    const auto t0 = Clock::now();
+    double sink = 0.0;
+    while ((rate.seconds = secondsSince(t0)) < budget_s) {
+        evaluator.beginSweep();
+        for (int col = 0; col < evaluator.columns(); ++col) {
+            evaluator.beginColumn(col);
+            for (int q = 0; q < evaluator.numQubits(); ++q) {
+                evaluator.beginQubit(q);
+                for (int role = 0; role < 3; ++role) {
+                    sink += std::abs(evaluator.probe(role, 0.0));
+                    sink += std::abs(evaluator.probe(role, kPi));
+                    // Commit at the current value: the accept-path cost
+                    // (U3 cache rebuild) without drifting the state.
+                    evaluator.commitAngle(
+                        role, evaluator.angle(col, q, role));
+                    rate.probes += 2;
+                }
+            }
+        }
+    }
+    rate.seconds = secondsSince(t0);
+    if (sink < 0.0)
+        std::printf("%f", sink);
+    return rate;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ReportSession session(argc, argv, "bench_compose_kernel");
+
+    // Correctness gate before any timing: incremental must match dense.
+    verify::KernelCheckOptions checkOptions;
+    checkOptions.trials = 25;
+    const auto check = verify::checkComposeKernel(checkOptions);
+    std::printf("kernel cross-check: %s (%s)\n",
+                check.pass ? "PASS" : "FAIL", check.detail.c_str());
+    session.note("crossCheck", check.detail);
+    if (!check.pass)
+        return 1;
+
+    const double budget = measureSeconds();
+    const std::vector<int> layerSweep{1, 2, 4, 6};
+    const std::vector<int> widths{8, 16, 16, 9};
+    bench::printRow({"layers", "dense evals/s", "incr evals/s", "speedup"},
+                    widths);
+    bench::printRule(widths);
+
+    Rng rng(123);
+    bool floorOk = true;
+    double speedupAtDeepest = 0.0;
+    for (const int layers : layerSweep) {
+        // 3-qubit (8x8) blocks — the composer's dominant case — with
+        // the paper's CCZ entanglers and a random in-class target.
+        const Ansatz ansatz(3, layers);
+        const Matrix target = ansatz.unitary(
+            rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi));
+        const auto angles =
+            rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi);
+
+        const KernelRate dense = denseRate(ansatz, target, angles, budget);
+        const KernelRate incr =
+            incrementalRate(ansatz, target, angles, budget);
+        const double speedup = incr.perSec() / dense.perSec();
+        speedupAtDeepest = speedup;
+        if (speedup < 1.0)
+            floorOk = false;
+
+        char denseBuf[32], incrBuf[32], speedBuf[32];
+        std::snprintf(denseBuf, sizeof(denseBuf), "%.3e", dense.perSec());
+        std::snprintf(incrBuf, sizeof(incrBuf), "%.3e", incr.perSec());
+        std::snprintf(speedBuf, sizeof(speedBuf), "%.1fx", speedup);
+        bench::printRow({std::to_string(layers), denseBuf, incrBuf,
+                         speedBuf},
+                        widths);
+
+        obs::Json row = obs::Json::object();
+        row.set("name", "kernel-layers-" + std::to_string(layers));
+        row.set("layers", layers);
+        row.set("denseEvalsPerSec", dense.perSec());
+        row.set("incrementalEvalsPerSec", incr.perSec());
+        row.set("speedup", speedup);
+        row.set("denseProbes", dense.probes);
+        row.set("incrementalProbes", incr.probes);
+        session.addRow(std::move(row));
+    }
+    bench::printRule(widths);
+    std::printf("sanity floor (incremental >= dense): %s\n",
+                floorOk ? "ok" : "REGRESSED");
+    std::printf("deepest-layer speedup: %.1fx\n", speedupAtDeepest);
+    return floorOk ? 0 : 1;
+}

@@ -2,6 +2,10 @@
  * @file
  * Reproduces paper Fig 12: total pulse counts under Baseline, OptiMap,
  * and Geyser, with the reductions relative to Baseline.
+ *
+ * This is the one bench that compiles the full suite under Geyser, so
+ * its run report (--report) is where end-to-end composition wall times
+ * (per-circuit composeMs) are tracked across kernel changes.
  */
 #include <cstdio>
 
@@ -11,25 +15,35 @@ using namespace geyser;
 using namespace geyser::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ReportSession session(argc, argv, "bench_fig12_pulses");
     std::printf("Fig 12: total pulses by technique\n\n");
     const std::vector<int> widths{14, 10, 10, 10, 12, 12};
     printRow({"Benchmark", "Baseline", "OptiMap", "Geyser", "Opti vs Base",
               "Gey vs Base"},
              widths);
     printRule(widths);
+    double totalComposeMs = 0.0;
     for (const auto &spec : benchmarkSuite()) {
         const long base =
             compileCached(spec, Technique::Baseline).stats.totalPulses;
         const long opti =
             compileCached(spec, Technique::OptiMap).stats.totalPulses;
-        const long gey =
-            compileCached(spec, Technique::Geyser).stats.totalPulses;
+        const CompileResult geyser =
+            compileCached(spec, Technique::Geyser);
+        const long gey = geyser.stats.totalPulses;
+        session.add(spec.name, geyser);
+        totalComposeMs += geyser.composeMs;
         printRow({spec.name, fmtLong(base), fmtLong(opti), fmtLong(gey),
                   "-" + fmtPct(1.0 - static_cast<double>(opti) / base),
                   "-" + fmtPct(1.0 - static_cast<double>(gey) / base)},
                  widths);
+    }
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", totalComposeMs);
+        session.note("totalComposeMs", buf);
     }
     std::printf("\nExpected shape (paper): Geyser cuts 25%%-90%% of Baseline\n"
                 "pulses and is never worse than OptiMap; gains concentrate\n"

@@ -36,8 +36,10 @@ compileCached(const BenchmarkSpec &spec, Technique technique)
     const Circuit logical = spec.make();
     const std::string dir = cacheDir();
     // kCacheVersion must be bumped whenever pipeline behaviour changes,
-    // or stale circuits would be replayed. (v4: stage wall times.)
-    constexpr const char *kCacheVersion = "v4";
+    // or stale circuits would be replayed. (v5: incremental composition
+    // kernel — composed circuits can differ bit-for-bit under the new
+    // sweep order.)
+    constexpr const char *kCacheVersion = "v5";
     const std::string path = dir + "/" + spec.name + "-" +
                              techniqueName(technique) + "-" + kCacheVersion +
                              ".txt";
@@ -214,6 +216,13 @@ ReportSession::add(const std::string &circuit, const CompileResult &result)
 {
     if (active_)
         report_.addCircuit(compileResultJson(circuit, result));
+}
+
+void
+ReportSession::addRow(obs::Json row)
+{
+    if (active_)
+        report_.addCircuit(std::move(row));
 }
 
 void

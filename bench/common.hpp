@@ -50,6 +50,9 @@ class ReportSession
     /** Record one compiled benchmark circuit. */
     void add(const std::string &circuit, const CompileResult &result);
 
+    /** Record a free-form per-row object (microbench rows etc.). */
+    void addRow(obs::Json row);
+
     /** Record an extra top-level config entry. */
     void note(const std::string &key, const std::string &value);
 

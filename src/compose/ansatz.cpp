@@ -26,6 +26,28 @@ Ansatz::Ansatz(int num_qubits, int layers, std::vector<Entangler> entanglers)
         entanglers_.assign(static_cast<size_t>(layers), Entangler::Cz01);
 }
 
+int
+entanglerFlipMask(Entangler e, int num_qubits)
+{
+    if (num_qubits == 2)
+        return 3;  // CZ regardless of the tag.
+    if (num_qubits == 4)
+        return 15;  // CCCZ.
+    switch (e) {
+      case Entangler::Ccz:
+        return 7;
+      case Entangler::Cz01:
+        return 3;
+      case Entangler::Cz02:
+        return 5;
+      case Entangler::Cz12:
+        return 6;
+      default:
+        break;
+    }
+    throw std::logic_error("entanglerFlipMask: unhandled entangler");
+}
+
 long
 Ansatz::pulses() const
 {
@@ -150,31 +172,10 @@ Ansatz::overlapTrace(const Matrix &target,
 
     for (int l = 0; l < layers_; ++l) {
         // Diagonal entangler: flip the sign of the affected rows.
-        const Entangler e = numQubits_ == 2 ? Entangler::Cz01
-                                            : entanglers_[static_cast<size_t>(l)];
+        const int mask =
+            entanglerFlipMask(entanglers_[static_cast<size_t>(l)], numQubits_);
         for (int r = 0; r < dim; ++r) {
-            bool flip;
-            if (numQubits_ == 2) {
-                flip = r == 3;
-            } else if (numQubits_ == 4) {
-                flip = r == 15;  // CCCZ.
-            } else {
-                switch (e) {
-                  case Entangler::Ccz:
-                    flip = r == 7;
-                    break;
-                  case Entangler::Cz01:
-                    flip = (r & 3) == 3;
-                    break;
-                  case Entangler::Cz02:
-                    flip = (r & 5) == 5;
-                    break;
-                  default:  // Cz12
-                    flip = (r & 6) == 6;
-                    break;
-                }
-            }
-            if (flip)
+            if ((r & mask) == mask)
                 for (int c = 0; c < dim; ++c)
                     cur[r * dim + c] = -cur[r * dim + c];
         }

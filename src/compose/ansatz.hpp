@@ -34,6 +34,14 @@ enum class EntanglerMode {
 enum class Entangler : uint8_t { Cz01, Cz02, Cz12, Ccz, Cccz };
 
 /**
+ * Every supported entangler is a diagonal sign matrix that flips the
+ * amplitude of exactly the basis states whose local bits cover `mask`:
+ * row r is negated iff (r & mask) == mask. This is the representation
+ * both the dense trace path and the incremental AnsatzEvaluator use.
+ */
+int entanglerFlipMask(Entangler e, int num_qubits);
+
+/**
  * A fixed-depth ansatz over 2 or 3 qubits. The angle vector layout is
  * column-major: (layers+1) columns of numQubits U3 gates, each gate
  * contributing (theta, phi, lambda) in order.
@@ -56,6 +64,18 @@ class Ansatz
 
     int numQubits() const { return numQubits_; }
     int layers() const { return layers_; }
+
+    /** Per-layer entangler choices (after constructor normalization). */
+    const std::vector<Entangler> &entanglers() const { return entanglers_; }
+
+    /**
+     * Flat angle index of (column, qubit, role) in the column-major
+     * layout documented above; role is 0 = theta, 1 = phi, 2 = lambda.
+     */
+    int angleIndex(int col, int qubit, int role) const
+    {
+        return (col * numQubits_ + qubit) * 3 + role;
+    }
 
     /** Number of angle parameters: numQubits * 3 * (layers + 1). */
     int numAngles() const { return numQubits_ * 3 * (layers_ + 1); }

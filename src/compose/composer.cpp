@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
+#include <cstdint>
 #include <mutex>
 #include <stdexcept>
+#include <type_traits>
 #include <unordered_map>
 
 #include "common/rng.hpp"
@@ -54,55 +55,66 @@ composeWithoutEntanglers(const Circuit &block)
 }  // namespace
 
 double
-rotosolve(const Ansatz &ansatz, const Matrix &target,
-          std::vector<double> &angles, int max_sweeps, double stop_at,
+rotosolve(AnsatzEvaluator &evaluator, int max_sweeps, double stop_at,
           long &evaluations)
 {
-    const int dim = target.rows();
-    auto trace = [&](const std::vector<double> &a) {
-        ++evaluations;
-        return ansatz.overlapTrace(target, a);
-    };
+    const int dim = evaluator.dim();
 
-    double best = hsdFromTrace(trace(angles), dim);
+    ++evaluations;
+    double best = hsdFromTrace(evaluator.trace(), dim);
     for (int sweep = 0; sweep < max_sweeps; ++sweep) {
         const double sweepStart = best;
-        for (int i = 0; i < ansatz.numAngles(); ++i) {
-            const int role = ansatz.angleRole(i);
-            const double saved = angles[static_cast<size_t>(i)];
+        evaluator.beginSweep();
+        for (int col = 0; col < evaluator.columns(); ++col) {
+            evaluator.beginColumn(col);
+            for (int q = 0; q < evaluator.numQubits(); ++q) {
+                evaluator.beginQubit(q);
+                for (int role = 0; role < 3; ++role) {
+                    evaluations += 2;
+                    const Complex t0 = evaluator.probe(role, 0.0);
+                    const Complex t1 = evaluator.probe(role, kPi);
 
-            angles[static_cast<size_t>(i)] = 0.0;
-            const Complex t0 = trace(angles);
-            angles[static_cast<size_t>(i)] = kPi;
-            const Complex t1 = trace(angles);
-
-            double vstar;
-            double amp;
-            if (role == 0) {
-                // theta: t(v) = t0 cos(v/2) + t1 sin(v/2).
-                const double a2 = std::norm(t0);
-                const double b2 = std::norm(t1);
-                const double c = (std::conj(t0) * t1).real();
-                vstar = std::atan2(2.0 * c, a2 - b2);
-                const double half = vstar / 2.0;
-                amp = std::abs(t0 * std::cos(half) + t1 * std::sin(half));
-            } else {
-                // phi / lambda: t(v) = a + b e^{iv} with a = (t0+t1)/2,
-                // b = (t0-t1)/2; the optimum aligns b e^{iv} with a.
-                const Complex a = 0.5 * (t0 + t1);
-                const Complex b = 0.5 * (t0 - t1);
-                vstar = std::arg(a) - std::arg(b);
-                amp = std::abs(a) + std::abs(b);
+                    double vstar;
+                    double amp;
+                    if (role == 0) {
+                        // theta: t(v) = t0 cos(v/2) + t1 sin(v/2).
+                        const double a2 = std::norm(t0);
+                        const double b2 = std::norm(t1);
+                        const double c = (std::conj(t0) * t1).real();
+                        vstar = std::atan2(2.0 * c, a2 - b2);
+                        const double half = vstar / 2.0;
+                        amp = std::abs(t0 * std::cos(half) +
+                                       t1 * std::sin(half));
+                    } else {
+                        // phi / lambda: t(v) = a + b e^{iv} with
+                        // a = (t0+t1)/2, b = (t0-t1)/2; the optimum
+                        // aligns b e^{iv} with a.
+                        const Complex a = 0.5 * (t0 + t1);
+                        const Complex b = 0.5 * (t0 - t1);
+                        vstar = std::arg(a) - std::arg(b);
+                        amp = std::abs(a) + std::abs(b);
+                    }
+                    const double candidate =
+                        1.0 - amp / static_cast<double>(dim);
+                    if (candidate <= best + 1e-15) {
+                        // Re-evaluate with an actual probe: `best` must
+                        // track the true trace, not the closed-form
+                        // model, or per-coordinate rounding accumulates
+                        // into an HSD lower than the real one (it is
+                        // returned as result.hsd and trusted by
+                        // acceptance).
+                        ++evaluations;
+                        const double actual =
+                            hsdFromTrace(evaluator.probe(role, vstar), dim);
+                        if (actual <= best + 1e-15) {
+                            evaluator.commitAngle(role, vstar);
+                            best = actual;
+                        }
+                    }
+                    if (best <= stop_at)
+                        return best;
+                }
             }
-            const double candidate = 1.0 - amp / static_cast<double>(dim);
-            if (candidate <= best + 1e-15) {
-                angles[static_cast<size_t>(i)] = vstar;
-                best = std::min(best, candidate);
-            } else {
-                angles[static_cast<size_t>(i)] = saved;
-            }
-            if (best <= stop_at)
-                return best;
         }
         // Early-abandon by convergence projection: coordinate descent
         // shrinks the gap to the target roughly geometrically. If the
@@ -126,6 +138,18 @@ rotosolve(const Ansatz &ansatz, const Matrix &target,
         if (needed > 2.0 * static_cast<double>(max_sweeps - sweep - 1))
             break;
     }
+    return best;
+}
+
+double
+rotosolve(const Ansatz &ansatz, const Matrix &target,
+          std::vector<double> &angles, int max_sweeps, double stop_at,
+          long &evaluations)
+{
+    AnsatzEvaluator evaluator(ansatz, target);
+    evaluator.setAngles(angles);
+    const double best = rotosolve(evaluator, max_sweeps, stop_at, evaluations);
+    angles = evaluator.angles();
     return best;
 }
 
@@ -172,6 +196,10 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
             const Ansatz ansatz(block.numQubits(), layers, chosen);
             if (ansatz.pulses() >= origPulses)
                 continue;
+            // One incremental evaluator per (depth, entangler) try,
+            // shared across every restart, polish, basin hop, and the
+            // annealing objective below.
+            AnsatzEvaluator evaluator(ansatz, target);
 
             const long depthStart = result.evaluations;
             // Budget scales with the search dimensionality: deeper
@@ -231,26 +259,27 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
                         angles = rng.uniformVector(ansatz.numAngles(), 0.0,
                                                    2.0 * kPi);
                     }
+                    evaluator.setAngles(angles);
                     const double h =
-                        rotosolve(ansatz, target, angles, triageSweeps,
+                        rotosolve(evaluator, triageSweeps,
                                   options.threshold, result.evaluations);
                     if (h <= options.threshold) {
                         bestHsd = h;
-                        bestAngles = std::move(angles);
+                        bestAngles = evaluator.angles();
                         break;
                     }
-                    consider(h, std::move(angles));
+                    consider(h, evaluator.angles());
                 }
                 for (auto &start : shortlist) {
                     if (bestHsd <= options.threshold || !depthBudgetLeft())
                         break;
+                    evaluator.setAngles(start.angles);
                     const double h =
-                        rotosolve(ansatz, target, start.angles,
-                                  options.maxSweeps, options.threshold,
-                                  result.evaluations);
+                        rotosolve(evaluator, options.maxSweeps,
+                                  options.threshold, result.evaluations);
                     if (h < bestHsd) {
                         bestHsd = h;
-                        bestAngles = start.angles;
+                        bestAngles = evaluator.angles();
                     }
                 }
                 // Basin hopping: perturb the best point and re-sweep
@@ -266,12 +295,13 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
                     std::vector<double> angles = bestAngles;
                     for (auto &a : angles)
                         a += sigma * rng.normal();
+                    evaluator.setAngles(angles);
                     const double h =
-                        rotosolve(ansatz, target, angles, options.maxSweeps,
+                        rotosolve(evaluator, options.maxSweeps,
                                   options.threshold, result.evaluations);
                     if (h < bestHsd) {
                         bestHsd = h;
-                        bestAngles = angles;
+                        bestAngles = evaluator.angles();
                     }
                 }
             }
@@ -285,23 +315,28 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
                 da.maxEvaluations = options.annealingEvaluations;
                 da.targetValue = options.threshold;
                 da.seed = options.seed + static_cast<uint64_t>(layers);
+                // The annealing objective closes over the incremental
+                // evaluator's full-trace path (cached U3 phases, split
+                // buffers) instead of the dense overlapTrace.
+                long annealProbes = 0;
                 const auto out = dualAnnealing(
-                    [&](const std::vector<double> &a) {
-                        return hsdFromTrace(ansatz.overlapTrace(target, a),
-                                            dim);
-                    },
+                    countedObjective(
+                        [&](const std::vector<double> &a) {
+                            return hsdFromTrace(evaluator.traceAt(a), dim);
+                        },
+                        annealProbes),
                     lo, hi, da);
-                result.evaluations += out.evaluations;
+                result.evaluations += annealProbes;
                 static obs::Counter &annealEvals =
                     obs::counter("compose.annealing_evaluations");
-                annealEvals.add(out.evaluations);
-                std::vector<double> polished = out.x;
+                annealEvals.add(annealProbes);
+                evaluator.setAngles(out.x);
                 const double h =
-                    rotosolve(ansatz, target, polished, 30,
-                              options.threshold, result.evaluations);
+                    rotosolve(evaluator, 30, options.threshold,
+                              result.evaluations);
                 if (h < bestHsd) {
                     bestHsd = h;
-                    bestAngles = polished;
+                    bestAngles = evaluator.angles();
                 }
             }
 
@@ -376,32 +411,102 @@ composeRecursive(const Circuit &block, const ComposeOptions &options,
     return result;
 }
 
-/** Memo key: exact gate content plus the search-relevant options. */
-std::string
+/**
+ * Memo key: a 128-bit FNV-1a hash over the exact gate content plus the
+ * search-relevant options (seed excluded, as documented). Hashing the
+ * raw bytes replaces the old string key — no per-lookup heap
+ * allocation — and 128 bits make accidental collisions across a
+ * process lifetime vanishingly unlikely.
+ */
+struct MemoKey
+{
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+    bool operator==(const MemoKey &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+};
+
+struct MemoKeyHash
+{
+    size_t operator()(const MemoKey &k) const
+    {
+        return static_cast<size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ull));
+    }
+};
+
+/** Incremental 128-bit FNV-1a (offset basis / prime per the spec). */
+struct Fnv128
+{
+    uint64_t hi = 0x6c62272e07bb0142ull;
+    uint64_t lo = 0x62b821756295c58dull;
+
+    void feed(const void *data, size_t len)
+    {
+        constexpr uint64_t kPrimeLo = 0x000000000000013bull;
+        constexpr uint64_t kPrimeHi = 0x0000000001000000ull;
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            lo ^= bytes[i];
+            // (hi, lo) *= prime, keeping the low 128 bits.
+            const unsigned __int128 p =
+                static_cast<unsigned __int128>(lo) * kPrimeLo;
+            const uint64_t carry = static_cast<uint64_t>(p >> 64);
+            hi = hi * kPrimeLo + lo * kPrimeHi + carry;
+            lo = static_cast<uint64_t>(p);
+        }
+    }
+    template <typename T> void feedValue(const T &v)
+    {
+        static_assert(std::is_trivially_copyable<T>::value,
+                      "feedValue: raw-byte hashing needs a POD");
+        feed(&v, sizeof(v));
+    }
+};
+
+MemoKey
 memoKey(const Circuit &block, const ComposeOptions &options)
 {
-    std::string key;
-    key.reserve(block.size() * 32 + 64);
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "n%d|t%.3e|L%d|o%d|m%d|r%d|s%d|d%d|",
-                  block.numQubits(), options.threshold, options.maxLayers,
-                  static_cast<int>(options.optimizer),
-                  static_cast<int>(options.entanglerMode), options.restarts,
-                  options.maxSweeps, options.maxSplitDepth);
-    key += buf;
+    Fnv128 h;
+    h.feedValue(block.numQubits());
+    h.feedValue(options.threshold);
+    h.feedValue(options.maxLayers);
+    h.feedValue(static_cast<int>(options.optimizer));
+    h.feedValue(static_cast<int>(options.entanglerMode));
+    h.feedValue(options.restarts);
+    h.feedValue(options.maxSweeps);
+    h.feedValue(options.maxSplitDepth);
     for (const auto &g : block.gates()) {
-        std::snprintf(buf, sizeof(buf), "%d:%d,%d,%d:%.17g,%.17g,%.17g;",
-                      static_cast<int>(g.kind()), g.qubit(0),
-                      g.numQubits() > 1 ? g.qubit(1) : -1,
-                      g.numQubits() > 2 ? g.qubit(2) : -1, g.param(0),
-                      g.param(1), g.param(2));
-        key += buf;
+        h.feedValue(static_cast<int>(g.kind()));
+        h.feedValue(g.qubit(0));
+        h.feedValue(g.numQubits() > 1 ? g.qubit(1) : -1);
+        h.feedValue(g.numQubits() > 2 ? g.qubit(2) : -1);
+        h.feedValue(g.param(0));
+        h.feedValue(g.param(1));
+        h.feedValue(g.param(2));
     }
-    return key;
+    return {h.hi, h.lo};
 }
 
-std::mutex memoMutex;
-std::unordered_map<std::string, ComposeResult> memo;
+/**
+ * The memo is sharded behind 16 striped mutexes so parallelCompose
+ * workers hashing different blocks stop contending on one global lock.
+ */
+constexpr int kMemoShards = 16;
+
+struct MemoShard
+{
+    std::mutex mutex;
+    std::unordered_map<MemoKey, ComposeResult, MemoKeyHash> map;
+};
+
+MemoShard &
+memoShard(const MemoKey &key)
+{
+    static MemoShard shards[kMemoShards];
+    return shards[key.lo & (kMemoShards - 1)];
+}
 
 }  // namespace
 
@@ -413,11 +518,12 @@ composeBlockCached(const Circuit &block, const ComposeOptions &options)
     static obs::Counter &evaluations = obs::counter("compose.evaluations");
     static obs::Counter &composedBlocks = obs::counter("compose.blocks_composed");
 
-    const std::string key = memoKey(block, options);
+    const MemoKey key = memoKey(block, options);
+    MemoShard &shard = memoShard(key);
     {
-        std::lock_guard<std::mutex> lock(memoMutex);
-        const auto it = memo.find(key);
-        if (it != memo.end()) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
             memoHits.add();
             return it->second;
         }
@@ -431,8 +537,8 @@ composeBlockCached(const Circuit &block, const ComposeOptions &options)
         obs::histogram("compose.evaluations_per_block")
             .record(static_cast<double>(result.evaluations));
     {
-        std::lock_guard<std::mutex> lock(memoMutex);
-        memo.emplace(key, result);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.map.emplace(key, result);
     }
     return result;
 }

@@ -19,6 +19,7 @@
 #define GEYSER_COMPOSE_COMPOSER_HPP
 
 #include "compose/ansatz.hpp"
+#include "compose/evaluator.hpp"
 #include "linalg/matrix.hpp"
 
 namespace geyser {
@@ -94,10 +95,25 @@ ComposeResult composeBlockCached(const Circuit &block,
  * Rotosolve: minimize 1 - |Tr(target^dagger U(angles))| / dim over the
  * ansatz angles by exact coordinate descent from the given start point.
  * Returns the best angles found through `angles` and the achieved HSD.
+ * Convenience wrapper over the evaluator form below.
  */
 double rotosolve(const Ansatz &ansatz, const Matrix &target,
                  std::vector<double> &angles, int max_sweeps,
                  double stop_at, long &evaluations);
+
+/**
+ * Rotosolve against an incremental AnsatzEvaluator (the hot path: each
+ * coordinate probe is an O(1) environment contraction instead of a
+ * full O(layers d^3) ansatz product). Starts from the evaluator's
+ * current angles; the best angles found remain loaded in the evaluator
+ * on return. The returned HSD always comes from an actual trace probe
+ * at the accepted angle, never from the closed-form model alone, so
+ * accumulated per-coordinate rounding cannot under-report the
+ * distance. `evaluations` counts trace probes, directly comparable to
+ * the dense path's objective-evaluation counts.
+ */
+double rotosolve(AnsatzEvaluator &evaluator, int max_sweeps, double stop_at,
+                 long &evaluations);
 
 }  // namespace geyser
 

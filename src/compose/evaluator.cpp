@@ -1,0 +1,360 @@
+#include "compose/evaluator.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace geyser {
+
+namespace {
+
+/** Split-complex d x d product: out = a * b (row-major). */
+void
+matmul(const double *are, const double *aim, const double *bre,
+       const double *bim, double *outRe, double *outIm, int d)
+{
+    for (int r = 0; r < d; ++r) {
+        for (int c = 0; c < d; ++c) {
+            double sre = 0.0, sim = 0.0;
+            for (int k = 0; k < d; ++k) {
+                const double xre = are[r * d + k], xim = aim[r * d + k];
+                const double yre = bre[k * d + c], yim = bim[k * d + c];
+                sre += xre * yre - xim * yim;
+                sim += xre * yim + xim * yre;
+            }
+            outRe[r * d + c] = sre;
+            outIm[r * d + c] = sim;
+        }
+    }
+}
+
+}  // namespace
+
+AnsatzEvaluator::AnsatzEvaluator(const Ansatz &ansatz, const Matrix &target)
+    : numQubits_(ansatz.numQubits()), layers_(ansatz.layers()),
+      dim_(1 << ansatz.numQubits())
+{
+    if (layers_ + 1 > kMaxColumns)
+        throw std::invalid_argument(
+            "AnsatzEvaluator: too many layers for the fixed buffers");
+    if (target.rows() != dim_ || target.cols() != dim_)
+        throw std::invalid_argument("AnsatzEvaluator: target dimension");
+
+    for (int l = 0; l < layers_; ++l)
+        flipMask_[l] = entanglerFlipMask(
+            ansatz.entanglers()[static_cast<size_t>(l)], numQubits_);
+
+    // Store target^dagger once, split.
+    for (int r = 0; r < dim_; ++r) {
+        for (int c = 0; c < dim_; ++c) {
+            const Complex v = std::conj(target(c, r));
+            tdRe_[r * dim_ + c] = v.real();
+            tdIm_[r * dim_ + c] = v.imag();
+        }
+    }
+    angles_.assign(static_cast<size_t>(ansatz.numAngles()), 0.0);
+    setAngles(angles_);
+}
+
+void
+AnsatzEvaluator::loadU3(int col, int qubit)
+{
+    const double th = angle(col, qubit, 0);
+    const double ph = angle(col, qubit, 1);
+    const double la = angle(col, qubit, 2);
+    const double c = std::cos(th / 2.0), s = std::sin(th / 2.0);
+    const double cp = std::cos(ph), sp = std::sin(ph);
+    const double cl = std::cos(la), sl = std::sin(la);
+    double *re = u3Re_[col][qubit], *im = u3Im_[col][qubit];
+    re[0] = c;
+    im[0] = 0.0;
+    re[1] = -cl * s;  // -e^{i la} s
+    im[1] = -sl * s;
+    re[2] = cp * s;  // e^{i ph} s
+    im[2] = sp * s;
+    re[3] = (cp * cl - sp * sl) * c;  // e^{i (ph + la)} c
+    im[3] = (cp * sl + sp * cl) * c;
+}
+
+void
+AnsatzEvaluator::setAngles(const std::vector<double> &angles)
+{
+    if (angles.size() != angles_.size())
+        throw std::invalid_argument("AnsatzEvaluator: wrong angle count");
+    angles_ = angles;
+    for (int col = 0; col <= layers_; ++col)
+        for (int q = 0; q < numQubits_; ++q)
+            loadU3(col, q);
+    sweeping_ = false;
+    curCol_ = -1;
+    curQubit_ = -1;
+}
+
+void
+AnsatzEvaluator::applyColumnLeft(double *re, double *im, int col) const
+{
+    // M := C_col . M, one 2x2 per qubit applied to row pairs.
+    const int d = dim_;
+    for (int q = 0; q < numQubits_; ++q) {
+        const double *ure = u3Re_[col][q], *uim = u3Im_[col][q];
+        const int bit = 1 << q;
+        for (int r0 = 0; r0 < d; ++r0) {
+            if (r0 & bit)
+                continue;
+            const int r1 = r0 | bit;
+            for (int c = 0; c < d; ++c) {
+                const double are = re[r0 * d + c], aim = im[r0 * d + c];
+                const double bre = re[r1 * d + c], bim = im[r1 * d + c];
+                re[r0 * d + c] = ure[0] * are - uim[0] * aim +
+                                 ure[1] * bre - uim[1] * bim;
+                im[r0 * d + c] = ure[0] * aim + uim[0] * are +
+                                 ure[1] * bim + uim[1] * bre;
+                re[r1 * d + c] = ure[2] * are - uim[2] * aim +
+                                 ure[3] * bre - uim[3] * bim;
+                im[r1 * d + c] = ure[2] * aim + uim[2] * are +
+                                 ure[3] * bim + uim[3] * bre;
+            }
+        }
+    }
+}
+
+void
+AnsatzEvaluator::applyColumnRight(double *re, double *im, int col) const
+{
+    // M := M . C_col: (M C)(r,c) = sum_k M(r,k) C(k,c); the qubit-q
+    // factor of C(k,c) is u3[k_q, c_q], so pair columns instead of rows.
+    const int d = dim_;
+    for (int q = 0; q < numQubits_; ++q) {
+        const double *ure = u3Re_[col][q], *uim = u3Im_[col][q];
+        const int bit = 1 << q;
+        for (int c0 = 0; c0 < d; ++c0) {
+            if (c0 & bit)
+                continue;
+            const int c1 = c0 | bit;
+            for (int r = 0; r < d; ++r) {
+                const double are = re[r * d + c0], aim = im[r * d + c0];
+                const double bre = re[r * d + c1], bim = im[r * d + c1];
+                re[r * d + c0] = are * ure[0] - aim * uim[0] +
+                                 bre * ure[2] - bim * uim[2];
+                im[r * d + c0] = are * uim[0] + aim * ure[0] +
+                                 bre * uim[2] + bim * ure[2];
+                re[r * d + c1] = are * ure[1] - aim * uim[1] +
+                                 bre * ure[3] - bim * uim[3];
+                im[r * d + c1] = are * uim[1] + aim * ure[1] +
+                                 bre * uim[3] + bim * ure[3];
+            }
+        }
+    }
+}
+
+Complex
+AnsatzEvaluator::trace() const
+{
+    static obs::Counter &fullTraces =
+        obs::counter("compose.kernel_full_traces");
+    fullTraces.add();
+
+    const int d = dim_;
+    double mre[kMaxDim * kMaxDim], mim[kMaxDim * kMaxDim];
+    std::memset(mre, 0, sizeof(double) * static_cast<size_t>(d * d));
+    std::memset(mim, 0, sizeof(double) * static_cast<size_t>(d * d));
+    for (int r = 0; r < d; ++r)
+        mre[r * d + r] = 1.0;
+    applyColumnLeft(mre, mim, 0);
+    for (int l = 0; l < layers_; ++l) {
+        const int mask = flipMask_[l];
+        for (int r = 0; r < d; ++r) {
+            if ((r & mask) != mask)
+                continue;
+            for (int c = 0; c < d; ++c) {
+                mre[r * d + c] = -mre[r * d + c];
+                mim[r * d + c] = -mim[r * d + c];
+            }
+        }
+        applyColumnLeft(mre, mim, l + 1);
+    }
+    // Tr(T^dagger U) = sum_{r,k} Td(r,k) U(k,r).
+    double tre = 0.0, tim = 0.0;
+    for (int r = 0; r < d; ++r) {
+        for (int k = 0; k < d; ++k) {
+            const double are = tdRe_[r * d + k], aim = tdIm_[r * d + k];
+            const double bre = mre[k * d + r], bim = mim[k * d + r];
+            tre += are * bre - aim * bim;
+            tim += are * bim + aim * bre;
+        }
+    }
+    return {tre, tim};
+}
+
+void
+AnsatzEvaluator::beginSweep()
+{
+    static obs::Counter &sweeps = obs::counter("compose.kernel_sweeps");
+    sweeps.add();
+
+    const int d = dim_;
+    const size_t bytes = sizeof(double) * static_cast<size_t>(d * d);
+    // Suffix pass: L(layers) = I; L(col) = L(col+1) . C_{col+1} . E_col.
+    std::memset(lenvRe_[layers_], 0, bytes);
+    std::memset(lenvIm_[layers_], 0, bytes);
+    for (int r = 0; r < d; ++r)
+        lenvRe_[layers_][r * d + r] = 1.0;
+    for (int col = layers_ - 1; col >= 0; --col) {
+        std::memcpy(lenvRe_[col], lenvRe_[col + 1], bytes);
+        std::memcpy(lenvIm_[col], lenvIm_[col + 1], bytes);
+        applyColumnRight(lenvRe_[col], lenvIm_[col], col + 1);
+        const int mask = flipMask_[col];
+        for (int c = 0; c < d; ++c) {
+            if ((c & mask) != mask)
+                continue;
+            for (int r = 0; r < d; ++r) {
+                lenvRe_[col][r * d + c] = -lenvRe_[col][r * d + c];
+                lenvIm_[col][r * d + c] = -lenvIm_[col][r * d + c];
+            }
+        }
+    }
+    // Prefix starts empty: R(0) = I.
+    std::memset(renvRe_, 0, bytes);
+    std::memset(renvIm_, 0, bytes);
+    for (int r = 0; r < d; ++r)
+        renvRe_[r * d + r] = 1.0;
+    sweeping_ = true;
+    curCol_ = -1;
+    curQubit_ = -1;
+}
+
+void
+AnsatzEvaluator::beginColumn(int col)
+{
+    static obs::Counter &envBuilds =
+        obs::counter("compose.kernel_env_builds");
+    envBuilds.add();
+
+    if (!sweeping_ || col != curCol_ + 1)
+        throw std::logic_error(
+            "AnsatzEvaluator::beginColumn: columns must be swept in order");
+    const int d = dim_;
+    if (col > 0) {
+        // Fold the previous (now committed) column into the prefix:
+        // R(col) = E_{col-1} . C_{col-1} . R(col-1).
+        applyColumnLeft(renvRe_, renvIm_, col - 1);
+        const int mask = flipMask_[col - 1];
+        for (int r = 0; r < d; ++r) {
+            if ((r & mask) != mask)
+                continue;
+            for (int c = 0; c < d; ++c) {
+                renvRe_[r * d + c] = -renvRe_[r * d + c];
+                renvIm_[r * d + c] = -renvIm_[r * d + c];
+            }
+        }
+    }
+    // E = R . T^dagger . L(col); the edge columns skip one identity.
+    double tre[kMaxDim * kMaxDim], tim[kMaxDim * kMaxDim];
+    const double *leftRe = tdRe_, *leftIm = tdIm_;
+    if (col > 0) {
+        matmul(renvRe_, renvIm_, tdRe_, tdIm_, tre, tim, d);
+        leftRe = tre;
+        leftIm = tim;
+    }
+    if (col < layers_) {
+        matmul(leftRe, leftIm, lenvRe_[col], lenvIm_[col], envRe_, envIm_,
+               d);
+    } else {
+        const size_t bytes = sizeof(double) * static_cast<size_t>(d * d);
+        std::memcpy(envRe_, leftRe, bytes);
+        std::memcpy(envIm_, leftIm, bytes);
+    }
+    curCol_ = col;
+    curQubit_ = -1;
+}
+
+void
+AnsatzEvaluator::beginQubit(int qubit)
+{
+    static obs::Counter &folds = obs::counter("compose.kernel_folds");
+    folds.add();
+
+    if (curCol_ < 0)
+        throw std::logic_error("AnsatzEvaluator::beginQubit: no column");
+    const int d = dim_;
+    const int n = numQubits_;
+    for (int i = 0; i < 4; ++i) {
+        wRe_[i] = 0.0;
+        wIm_[i] = 0.0;
+    }
+    // W[a,b] = sum over E(r,k) entries with k_q = a, r_q = b, weighted
+    // by the other qubits' U3 factors prod_{p!=q} u3_p[k_p, r_p].
+    for (int k = 0; k < d; ++k) {
+        for (int r = 0; r < d; ++r) {
+            double fre = 1.0, fim = 0.0;
+            for (int p = 0; p < n; ++p) {
+                if (p == qubit)
+                    continue;
+                const int e = ((k >> p) & 1) * 2 + ((r >> p) & 1);
+                const double ure = u3Re_[curCol_][p][e];
+                const double uim = u3Im_[curCol_][p][e];
+                const double nre = fre * ure - fim * uim;
+                fim = fre * uim + fim * ure;
+                fre = nre;
+            }
+            const double ere = envRe_[r * d + k], eim = envIm_[r * d + k];
+            const int idx = ((k >> qubit) & 1) * 2 + ((r >> qubit) & 1);
+            wRe_[idx] += fre * ere - fim * eim;
+            wIm_[idx] += fre * eim + fim * ere;
+        }
+    }
+    curQubit_ = qubit;
+}
+
+void
+AnsatzEvaluator::buildU3(int role, double value, double *ure,
+                         double *uim) const
+{
+    const double th = role == 0 ? value : angle(curCol_, curQubit_, 0);
+    const double ph = role == 1 ? value : angle(curCol_, curQubit_, 1);
+    const double la = role == 2 ? value : angle(curCol_, curQubit_, 2);
+    const double c = std::cos(th / 2.0), s = std::sin(th / 2.0);
+    const double cp = std::cos(ph), sp = std::sin(ph);
+    const double cl = std::cos(la), sl = std::sin(la);
+    ure[0] = c;
+    uim[0] = 0.0;
+    ure[1] = -cl * s;
+    uim[1] = -sl * s;
+    ure[2] = cp * s;
+    uim[2] = sp * s;
+    ure[3] = (cp * cl - sp * sl) * c;
+    uim[3] = (cp * sl + sp * cl) * c;
+}
+
+Complex
+AnsatzEvaluator::probe(int role, double value) const
+{
+    static obs::Counter &probes = obs::counter("compose.kernel_probes");
+    probes.add();
+
+    if (curQubit_ < 0)
+        throw std::logic_error("AnsatzEvaluator::probe: no qubit selected");
+    double ure[4], uim[4];
+    buildU3(role, value, ure, uim);
+    double tre = 0.0, tim = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        tre += ure[i] * wRe_[i] - uim[i] * wIm_[i];
+        tim += ure[i] * wIm_[i] + uim[i] * wRe_[i];
+    }
+    return {tre, tim};
+}
+
+void
+AnsatzEvaluator::commitAngle(int role, double value)
+{
+    if (curQubit_ < 0)
+        throw std::logic_error(
+            "AnsatzEvaluator::commitAngle: no qubit selected");
+    angles_[static_cast<size_t>(angleIndex(curCol_, curQubit_, role))] =
+        value;
+    loadU3(curCol_, curQubit_);
+}
+
+}  // namespace geyser

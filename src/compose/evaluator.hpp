@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Incremental environment-contraction kernel for the composition
+ * objective Tr(T^dagger U(angles)) — the rotosolve hot path.
+ *
+ * The ansatz unitary factorizes as U = C_L E_{L-1} C_{L-1} ... E_0 C_0
+ * (U3 columns C interleaved with diagonal entanglers E). For a sweep
+ * position (column `col`, qubit `q`) write U = L . C(col) . R with
+ * L = C_L ... E_col the product *after* the column and
+ * R = E_{col-1} ... C_0 the product *before* it. By trace cyclicity
+ *
+ *     Tr(T^dagger U) = Tr(T^dagger L C R) = Tr((R T^dagger L) C)
+ *                    = Tr(E . C)            with E = R . T^dagger . L,
+ *
+ * and because C is a Kronecker product of per-qubit U3s, the trace is
+ * *bilinear in the 4 entries of qubit q's U3*:
+ *
+ *     Tr(E C) = sum_{a,b in {0,1}} u3_q[a,b] . W_q[a,b],
+ *     W_q[a,b] = sum_{k_q=a, r_q=b} E(r,k) . prod_{p!=q} u3_p[k_p,r_p].
+ *
+ * So after one O(d^2) environment build per column and one O(d^2 n)
+ * fold per qubit, every rotosolve probe (angle -> trace) costs a
+ * constant-size 4-entry contraction plus one U3 rebuild — versus the
+ * dense path's O(layers d^3) product with fresh std::exp calls per
+ * probe. Environments are updated with rank-local multiplies as the
+ * sweep advances, never rebuilt from scratch mid-sweep.
+ *
+ * All buffers are fixed-size split-complex (SoA) arrays owned by the
+ * evaluator; no heap allocation happens after construction. The dense
+ * Ansatz::overlapTrace stays as the reference oracle; the verify layer
+ * cross-checks the two to 1e-12 (verify/kernel_check).
+ */
+#ifndef GEYSER_COMPOSE_EVALUATOR_HPP
+#define GEYSER_COMPOSE_EVALUATOR_HPP
+
+#include <vector>
+
+#include "compose/ansatz.hpp"
+#include "linalg/matrix.hpp"
+
+namespace geyser {
+
+/**
+ * Incremental trace evaluator bound to one (ansatz shape, target)
+ * pair. Reusable across restarts/basin hops: call setAngles() to load
+ * a new start point, then drive the sweep protocol
+ *
+ *   beginSweep();
+ *   for col in 0..layers: beginColumn(col);
+ *     for q in 0..n-1: beginQubit(q);
+ *       probe(role, value) ... commitAngle(role, value);
+ *
+ * Columns must be visited in order (environments advance forward);
+ * probes never mutate state, commits update the evaluator's current
+ * angle vector and the cached U3 of the selected qubit. A sweep may be
+ * abandoned at any point (e.g. on early convergence) and restarted
+ * with beginSweep().
+ */
+class AnsatzEvaluator
+{
+  public:
+    static constexpr int kMaxQubits = 4;
+    static constexpr int kMaxDim = 1 << kMaxQubits;
+    static constexpr int kMaxColumns = 16;
+
+    /** `target` must be dim x dim for the ansatz's qubit count. */
+    AnsatzEvaluator(const Ansatz &ansatz, const Matrix &target);
+
+    int numQubits() const { return numQubits_; }
+    int layers() const { return layers_; }
+    int columns() const { return layers_ + 1; }
+    int dim() const { return dim_; }
+    int numAngles() const { return static_cast<int>(angles_.size()); }
+
+    /** Load a fresh angle vector (rebuilds the U3 cache). */
+    void setAngles(const std::vector<double> &angles);
+    const std::vector<double> &angles() const { return angles_; }
+    double angle(int col, int qubit, int role) const
+    {
+        return angles_[static_cast<size_t>(angleIndex(col, qubit, role))];
+    }
+
+    /**
+     * Tr(target^dagger U(current angles)) via the factored product —
+     * O(layers d^2 n), no std::exp (U3s come from the cache). Matches
+     * Ansatz::overlapTrace to floating-point rounding.
+     */
+    Complex trace() const;
+
+    /** setAngles(angles) + trace(): the global-optimizer objective. */
+    Complex traceAt(const std::vector<double> &angles)
+    {
+        setAngles(angles);
+        return trace();
+    }
+
+    /** Start a sweep: build suffix environments from current angles. */
+    void beginSweep();
+
+    /**
+     * Enter a column (must be beginSweep order: 0, 1, ..., layers).
+     * Folds the previous column into the prefix environment and
+     * contracts E = R . T^dagger . L for this column.
+     */
+    void beginColumn(int col);
+
+    /** Select a qubit of the current column: folds W_q. */
+    void beginQubit(int qubit);
+
+    /**
+     * Trace with the selected qubit's `role` angle (0 = theta, 1 = phi,
+     * 2 = lambda) replaced by `value`, other angles current. O(1):
+     * one U3 rebuild plus the 4-entry contraction. Does not mutate.
+     */
+    Complex probe(int role, double value) const;
+
+    /** Accept an update for the selected qubit's `role` angle. */
+    void commitAngle(int role, double value);
+
+  private:
+    int angleIndex(int col, int qubit, int role) const
+    {
+        return (col * numQubits_ + qubit) * 3 + role;
+    }
+    void loadU3(int col, int qubit);
+    void applyColumnLeft(double *re, double *im, int col) const;
+    void applyColumnRight(double *re, double *im, int col) const;
+    void buildU3(int role, double value, double *ure, double *uim) const;
+
+    int numQubits_ = 0;
+    int layers_ = 0;
+    int dim_ = 0;
+    std::vector<double> angles_;
+    int flipMask_[kMaxColumns] = {};  ///< Per-layer entangler masks.
+
+    // target^dagger, split row-major.
+    double tdRe_[kMaxDim * kMaxDim] = {};
+    double tdIm_[kMaxDim * kMaxDim] = {};
+
+    // Cached per-column, per-qubit U3 entries (row-major 2x2).
+    double u3Re_[kMaxColumns][kMaxQubits][4] = {};
+    double u3Im_[kMaxColumns][kMaxQubits][4] = {};
+
+    // Suffix environments L(col) = C_L ... E_col, built per sweep.
+    double lenvRe_[kMaxColumns][kMaxDim * kMaxDim] = {};
+    double lenvIm_[kMaxColumns][kMaxDim * kMaxDim] = {};
+    // Prefix environment R(col), advanced as the sweep moves forward.
+    double renvRe_[kMaxDim * kMaxDim] = {};
+    double renvIm_[kMaxDim * kMaxDim] = {};
+    // E = R . T^dagger . L for the current column.
+    double envRe_[kMaxDim * kMaxDim] = {};
+    double envIm_[kMaxDim * kMaxDim] = {};
+    // W_q fold of the current (column, qubit).
+    double wRe_[4] = {};
+    double wIm_[4] = {};
+
+    int curCol_ = -1;
+    int curQubit_ = -1;
+    bool sweeping_ = false;
+};
+
+}  // namespace geyser
+
+#endif  // GEYSER_COMPOSE_EVALUATOR_HPP

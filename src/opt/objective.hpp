@@ -21,6 +21,22 @@ struct OptResult
     int evaluations = 0;
 };
 
+/**
+ * Wrap an objective so every call bumps `count`. The composer charges
+ * annealing probes against the per-block evaluation budget this way
+ * (its objective closes over an AnsatzEvaluator, so the optimizer
+ * itself never needs to know about counting). `count` must outlive the
+ * returned objective.
+ */
+inline Objective
+countedObjective(Objective f, long &count)
+{
+    return [f = std::move(f), &count](const std::vector<double> &x) {
+        ++count;
+        return f(x);
+    };
+}
+
 }  // namespace geyser
 
 #endif  // GEYSER_OPT_OBJECTIVE_HPP

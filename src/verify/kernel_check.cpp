@@ -1,0 +1,143 @@
+#include "verify/kernel_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "compose/ansatz.hpp"
+#include "compose/evaluator.hpp"
+
+namespace geyser {
+namespace verify {
+
+namespace {
+
+/** Random entangler pattern valid for the qubit count. */
+std::vector<Entangler>
+randomEntanglers(Rng &rng, int num_qubits, int layers)
+{
+    std::vector<Entangler> out;
+    for (int l = 0; l < layers; ++l) {
+        if (num_qubits == 3) {
+            constexpr Entangler kChoices[] = {Entangler::Ccz, Entangler::Cz01,
+                                              Entangler::Cz02,
+                                              Entangler::Cz12};
+            out.push_back(kChoices[rng.uniformInt(4)]);
+        } else {
+            out.push_back(num_qubits == 4 ? Entangler::Cccz
+                                          : Entangler::Cz01);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+KernelCheckReport
+checkComposeKernel(const KernelCheckOptions &options)
+{
+    Rng rng(options.seed);
+    KernelCheckReport report;
+
+    for (int trial = 0; trial < options.trials; ++trial) {
+        const int numQubits = 2 + rng.uniformInt(3);
+        const int layers = 1 + rng.uniformInt(5);
+        const Ansatz ansatz(numQubits, layers,
+                            randomEntanglers(rng, numQubits, layers));
+
+        // Random unitary target: another ansatz instance at random
+        // angles (guaranteed unitary and in-distribution for the
+        // composer's search).
+        const int targetLayers = 1 + rng.uniformInt(4);
+        const Ansatz targetGen(numQubits, targetLayers,
+                               randomEntanglers(rng, numQubits,
+                                                targetLayers));
+        const Matrix target = targetGen.unitary(
+            rng.uniformVector(targetGen.numAngles(), 0.0, 2.0 * kPi));
+
+        AnsatzEvaluator evaluator(ansatz, target);
+        std::vector<double> angles =
+            rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi);
+        evaluator.setAngles(angles);
+
+        auto check = [&](Complex incremental, const char *where) {
+            const Complex dense = ansatz.overlapTrace(target, angles);
+            const double dev = std::abs(incremental - dense);
+            report.maxDeviation = std::max(report.maxDeviation, dev);
+            ++report.probesChecked;
+            if (dev > options.tolerance && report.detail.empty()) {
+                char buf[160];
+                std::snprintf(buf, sizeof(buf),
+                              "%s deviated by %.3e (tol %.1e) at trial %d "
+                              "(n=%d layers=%d seed=%llu)",
+                              where, dev, options.tolerance, trial,
+                              numQubits, layers,
+                              static_cast<unsigned long long>(options.seed));
+                report.detail = buf;
+            }
+        };
+
+        check(evaluator.trace(), "full trace");
+
+        // Several interleaved sweeps with random probes and commits —
+        // the stale-environment hazard the incremental path must
+        // survive. `angles` mirrors every commit so the dense oracle
+        // always sees the evaluator's exact state.
+        const int sweeps = 2 + rng.uniformInt(3);
+        for (int sweep = 0; sweep < sweeps; ++sweep) {
+            evaluator.beginSweep();
+            for (int col = 0; col < evaluator.columns(); ++col) {
+                evaluator.beginColumn(col);
+                for (int q = 0; q < numQubits; ++q) {
+                    evaluator.beginQubit(q);
+                    for (int role = 0; role < 3; ++role) {
+                        const double value = rng.uniform(0.0, 2.0 * kPi);
+                        const size_t idx = static_cast<size_t>(
+                            ansatz.angleIndex(col, q, role));
+                        const double saved = angles[idx];
+                        angles[idx] = value;
+                        check(evaluator.probe(role, value), "probe");
+                        if (rng.bernoulli(0.5)) {
+                            evaluator.commitAngle(role, value);
+                        } else {
+                            angles[idx] = saved;
+                        }
+                    }
+                }
+            }
+            check(evaluator.trace(), "post-sweep trace");
+        }
+        // The single-coordinate update path after many interleaved
+        // sweeps: one more sweep that only touches one angle.
+        evaluator.beginSweep();
+        const int lastCol = rng.uniformInt(evaluator.columns());
+        for (int col = 0; col <= lastCol; ++col)
+            evaluator.beginColumn(col);
+        const int q = rng.uniformInt(numQubits);
+        const int role = rng.uniformInt(3);
+        evaluator.beginQubit(q);
+        const double value = rng.uniform(0.0, 2.0 * kPi);
+        angles[static_cast<size_t>(ansatz.angleIndex(lastCol, q, role))] =
+            value;
+        check(evaluator.probe(role, value), "single-coordinate probe");
+        evaluator.commitAngle(role, value);
+        check(evaluator.trace(), "post-update trace");
+    }
+
+    report.pass = report.detail.empty();
+    if (report.pass) {
+        char buf[120];
+        std::snprintf(buf, sizeof(buf),
+                      "%ld probes matched dense oracle, max deviation %.3e",
+                      report.probesChecked, report.maxDeviation);
+        report.detail = buf;
+    }
+    return report;
+}
+
+}  // namespace verify
+}  // namespace geyser

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Differential cross-check of the incremental environment-contraction
+ * kernel (compose/evaluator) against the dense reference oracle
+ * (Ansatz::overlapTrace / Ansatz::unitary). The composer's correctness
+ * now rests on the incremental trace being *numerically identical* to
+ * the dense one, so this check drives randomized ansatze (qubit
+ * counts, layer counts, entangler patterns, angle perturbations)
+ * through the full sweep protocol — probes, commits, and repeated
+ * interleaved sweeps that would expose stale environments — and
+ * compares every probe against a freshly built dense trace.
+ */
+#ifndef GEYSER_VERIFY_KERNEL_CHECK_HPP
+#define GEYSER_VERIFY_KERNEL_CHECK_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace geyser {
+namespace verify {
+
+/** Parameters of one randomized kernel cross-check run. */
+struct KernelCheckOptions
+{
+    /** Random (ansatz, target, sweep) scenarios to drive. */
+    int trials = 20;
+    /** Absolute |incremental - dense| trace tolerance. */
+    double tolerance = 1e-12;
+    uint64_t seed = 1;
+};
+
+/** Outcome of a kernel cross-check. */
+struct KernelCheckReport
+{
+    bool pass = false;
+    long probesChecked = 0;
+    double maxDeviation = 0.0;  ///< Worst |incremental - dense| seen.
+    /** One-line summary (filled on pass and fail). */
+    std::string detail;
+};
+
+/**
+ * Drive randomized scenarios over 2-4 qubit ansatze, 1-5 layers, mixed
+ * entangler patterns, random targets and angle perturbations.
+ * Deterministic for a given seed.
+ */
+KernelCheckReport checkComposeKernel(const KernelCheckOptions &options = {});
+
+}  // namespace verify
+}  // namespace geyser
+
+#endif  // GEYSER_VERIFY_KERNEL_CHECK_HPP

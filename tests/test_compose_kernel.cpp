@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Property/fuzz suite for the incremental environment-contraction
+ * kernel (compose/evaluator): the incremental trace must match the
+ * dense reference oracle (Ansatz::overlapTrace / Ansatz::unitary) to
+ * 1e-12 across random qubit counts, layer counts, entangler patterns,
+ * and angle perturbations — including the single-coordinate update
+ * path after many interleaved sweeps (stale-environment hazard), the
+ * sweep-protocol state machine, and the rotosolve rewrite on top.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "compose/composer.hpp"
+#include "compose/evaluator.hpp"
+#include "verify/equivalence.hpp"
+#include "verify/kernel_check.hpp"
+
+namespace geyser {
+namespace {
+
+using verify::hsdFromTrace;
+
+std::vector<Entangler>
+patternFor(int num_qubits, int layers, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Entangler> out;
+    for (int l = 0; l < layers; ++l) {
+        if (num_qubits == 3) {
+            constexpr Entangler kChoices[] = {Entangler::Ccz, Entangler::Cz01,
+                                              Entangler::Cz02,
+                                              Entangler::Cz12};
+            out.push_back(kChoices[rng.uniformInt(4)]);
+        } else {
+            out.push_back(num_qubits == 4 ? Entangler::Cccz
+                                          : Entangler::Cz01);
+        }
+    }
+    return out;
+}
+
+TEST(ComposeKernel, FullTraceMatchesDenseAcrossShapes)
+{
+    Rng rng(11);
+    for (int numQubits = 2; numQubits <= 4; ++numQubits) {
+        for (int layers = 1; layers <= 5; ++layers) {
+            const Ansatz ansatz(
+                numQubits, layers,
+                patternFor(numQubits, layers,
+                           static_cast<uint64_t>(numQubits * 10 + layers)));
+            const Matrix target = ansatz.unitary(
+                rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi));
+            AnsatzEvaluator evaluator(ansatz, target);
+            for (int rep = 0; rep < 5; ++rep) {
+                const auto angles =
+                    rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi);
+                evaluator.setAngles(angles);
+                const Complex dense = ansatz.overlapTrace(target, angles);
+                EXPECT_LT(std::abs(evaluator.trace() - dense), 1e-12)
+                    << "n=" << numQubits << " layers=" << layers;
+            }
+        }
+    }
+}
+
+TEST(ComposeKernel, ProbesMatchDenseThroughSweepProtocol)
+{
+    // Drive the full sweep state machine with random commits; every
+    // probe must equal a fresh dense evaluation of the same angles.
+    Rng rng(23);
+    const int numQubits = 3, layers = 4;
+    const Ansatz ansatz(numQubits, layers, patternFor(numQubits, layers, 7));
+    const Matrix target = ansatz.unitary(
+        rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi));
+    AnsatzEvaluator evaluator(ansatz, target);
+    std::vector<double> angles =
+        rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi);
+    evaluator.setAngles(angles);
+
+    for (int sweep = 0; sweep < 4; ++sweep) {
+        evaluator.beginSweep();
+        for (int col = 0; col < evaluator.columns(); ++col) {
+            evaluator.beginColumn(col);
+            for (int q = 0; q < numQubits; ++q) {
+                evaluator.beginQubit(q);
+                for (int role = 0; role < 3; ++role) {
+                    const double value = rng.uniform(0.0, 2.0 * kPi);
+                    const size_t idx = static_cast<size_t>(
+                        ansatz.angleIndex(col, q, role));
+                    const double saved = angles[idx];
+                    angles[idx] = value;
+                    const Complex dense =
+                        ansatz.overlapTrace(target, angles);
+                    EXPECT_LT(
+                        std::abs(evaluator.probe(role, value) - dense),
+                        1e-12)
+                        << "sweep=" << sweep << " col=" << col
+                        << " q=" << q << " role=" << role;
+                    if (rng.bernoulli(0.6)) {
+                        evaluator.commitAngle(role, value);
+                    } else {
+                        angles[idx] = saved;
+                    }
+                }
+            }
+        }
+    }
+    // Evaluator state and mirror must agree at the end.
+    EXPECT_EQ(evaluator.angles(), angles);
+    EXPECT_LT(std::abs(evaluator.trace() -
+                       ansatz.overlapTrace(target, angles)),
+              1e-12);
+}
+
+TEST(ComposeKernel, SingleCoordinateUpdateAfterInterleavedSweeps)
+{
+    // The stale-environment trap: many sweeps with commits, then a
+    // fresh sweep touching one coordinate deep in the circuit.
+    Rng rng(31);
+    const int numQubits = 3, layers = 5;
+    const Ansatz ansatz(numQubits, layers, patternFor(numQubits, layers, 9));
+    const Matrix target = ansatz.unitary(
+        rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi));
+    AnsatzEvaluator evaluator(ansatz, target);
+    std::vector<double> angles =
+        rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi);
+    evaluator.setAngles(angles);
+
+    // Churn: three sweeps committing everything.
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        evaluator.beginSweep();
+        for (int col = 0; col < evaluator.columns(); ++col) {
+            evaluator.beginColumn(col);
+            for (int q = 0; q < numQubits; ++q) {
+                evaluator.beginQubit(q);
+                for (int role = 0; role < 3; ++role) {
+                    const double value = rng.uniform(0.0, 2.0 * kPi);
+                    angles[static_cast<size_t>(
+                        ansatz.angleIndex(col, q, role))] = value;
+                    evaluator.commitAngle(role, value);
+                }
+            }
+        }
+    }
+    // Single-coordinate sweeps at every column depth.
+    for (int targetCol = 0; targetCol < evaluator.columns(); ++targetCol) {
+        evaluator.beginSweep();
+        for (int col = 0; col <= targetCol; ++col)
+            evaluator.beginColumn(col);
+        const int q = rng.uniformInt(numQubits);
+        const int role = rng.uniformInt(3);
+        evaluator.beginQubit(q);
+        const double value = rng.uniform(0.0, 2.0 * kPi);
+        angles[static_cast<size_t>(
+            ansatz.angleIndex(targetCol, q, role))] = value;
+        const Complex dense = ansatz.overlapTrace(target, angles);
+        EXPECT_LT(std::abs(evaluator.probe(role, value) - dense), 1e-12)
+            << "targetCol=" << targetCol;
+        evaluator.commitAngle(role, value);
+    }
+}
+
+TEST(ComposeKernel, VerifyLayerCrossCheckPasses)
+{
+    verify::KernelCheckOptions options;
+    options.trials = 25;
+    options.seed = 5;
+    const auto report = verify::checkComposeKernel(options);
+    EXPECT_TRUE(report.pass) << report.detail;
+    EXPECT_GT(report.probesChecked, 1000);
+    EXPECT_LT(report.maxDeviation, 1e-12);
+}
+
+TEST(ComposeKernel, RotosolveReportsTrueDistance)
+{
+    // The honesty fix: result.hsd must equal the dense HSD of the
+    // returned angles (no accumulated closed-form model error).
+    Rng rng(47);
+    for (int layers = 1; layers <= 4; ++layers) {
+        const Ansatz ansatz(3, layers);
+        const Matrix target = ansatz.unitary(
+            rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi));
+        AnsatzEvaluator evaluator(ansatz, target);
+        evaluator.setAngles(
+            rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi));
+        long evaluations = 0;
+        const double reported =
+            rotosolve(evaluator, 40, 0.0, evaluations);
+        const double truth = hilbertSchmidtDistance(
+            ansatz.unitary(evaluator.angles()), target);
+        EXPECT_NEAR(reported, truth, 1e-10) << "layers=" << layers;
+        EXPECT_GT(evaluations, 0);
+    }
+}
+
+TEST(ComposeKernel, DenseWrapperMatchesEvaluatorPath)
+{
+    // The legacy rotosolve signature is a thin wrapper; both entry
+    // points must agree exactly (same probes, same commits).
+    const Ansatz ansatz(3, 2);
+    Rng rng(53);
+    const Matrix target = ansatz.unitary(
+        rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi));
+    const auto start =
+        rng.uniformVector(ansatz.numAngles(), 0.0, 2.0 * kPi);
+
+    std::vector<double> wrapperAngles = start;
+    long wrapperEvals = 0;
+    const double wrapperHsd = rotosolve(ansatz, target, wrapperAngles, 25,
+                                        1e-9, wrapperEvals);
+
+    AnsatzEvaluator evaluator(ansatz, target);
+    evaluator.setAngles(start);
+    long evals = 0;
+    const double hsd = rotosolve(evaluator, 25, 1e-9, evals);
+
+    EXPECT_EQ(wrapperEvals, evals);
+    EXPECT_DOUBLE_EQ(wrapperHsd, hsd);
+    EXPECT_EQ(wrapperAngles, evaluator.angles());
+}
+
+TEST(ComposeKernel, SweepProtocolEnforcesColumnOrder)
+{
+    const Ansatz ansatz(2, 1);
+    const Matrix target = Matrix::identity(4);
+    AnsatzEvaluator evaluator(ansatz, target);
+    EXPECT_THROW(evaluator.beginColumn(0), std::logic_error);  // No sweep.
+    evaluator.beginSweep();
+    EXPECT_THROW(evaluator.beginColumn(1), std::logic_error);  // Skipped 0.
+    evaluator.beginColumn(0);
+    EXPECT_THROW(evaluator.probe(0, 0.0), std::logic_error);  // No qubit.
+    evaluator.beginQubit(0);
+    EXPECT_NO_THROW(evaluator.probe(0, 0.0));
+}
+
+TEST(ComposeKernel, RejectsMismatchedInputs)
+{
+    const Ansatz ansatz(3, 1);
+    EXPECT_THROW(AnsatzEvaluator(ansatz, Matrix::identity(4)),
+                 std::invalid_argument);
+    AnsatzEvaluator evaluator(ansatz, Matrix::identity(8));
+    EXPECT_THROW(evaluator.setAngles(std::vector<double>(5, 0.0)),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geyser
