@@ -3,10 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <sys/stat.h>
 
+#include "cache/result_cache.hpp"
 #include "common/thread_pool.hpp"
-#include "io/serialize.hpp"
 #include "obs/obs.hpp"
 
 namespace geyser {
@@ -14,18 +13,10 @@ namespace bench {
 
 namespace {
 
-std::string
-cacheDir()
-{
-    const char *env = std::getenv("GEYSER_CACHE_DIR");
-    return env ? env : "/tmp/geyser_bench_cache";
-}
-
 bool
 cacheEnabled()
 {
-    const char *env = std::getenv("GEYSER_NO_CACHE");
-    return !(env && std::string(env) == "1");
+    return cache::ResultCache::global().enabled();
 }
 
 }  // namespace
@@ -33,35 +24,15 @@ cacheEnabled()
 CompileResult
 compileCached(const BenchmarkSpec &spec, Technique technique)
 {
+    // All caching concerns — content-addressed keys (so there is no
+    // hand-bumped version string here anymore; see kPipelineVersion),
+    // crash-safe framed writes, corruption quarantine, single-flight,
+    // LRU size cap — live in src/cache now. The bench binaries share
+    // the env-configured process-wide cache.
     const Circuit logical = spec.make();
-    const std::string dir = cacheDir();
-    // kCacheVersion must be bumped whenever pipeline behaviour changes,
-    // or stale circuits would be replayed. (v5: incremental composition
-    // kernel — composed circuits can differ bit-for-bit under the new
-    // sweep order.)
-    constexpr const char *kCacheVersion = "v5";
-    const std::string path = dir + "/" + spec.name + "-" +
-                             techniqueName(technique) + "-" + kCacheVersion +
-                             ".txt";
-    static obs::Counter &hits = obs::counter("bench.cache_hits");
-    static obs::Counter &misses = obs::counter("bench.cache_misses");
-    if (cacheEnabled()) {
-        if (auto cached = loadCompileResult(path, logical)) {
-            hits.add();
-            return *cached;
-        }
-    }
-    misses.add();
-    const CompileResult result = compile(technique, logical);
-    if (cacheEnabled()) {
-        ::mkdir(dir.c_str(), 0755);
-        try {
-            saveCompileResult(path, result);
-        } catch (const std::exception &) {
-            // Cache writes are best-effort.
-        }
-    }
-    return result;
+    PipelineOptions options;
+    options.cache = &cache::ResultCache::global();
+    return compile(technique, logical, options);
 }
 
 TrajectoryConfig

@@ -1,12 +1,15 @@
 /**
  * @file
  * Shared helpers for the per-table/per-figure bench binaries: cached
- * compilation (so the ten benchmarks are compiled once across all
- * binaries), environment-controlled run scale, and table printing.
+ * compilation through the persistent result cache (src/cache, shared by
+ * all binaries and processes — content-addressed keys, so no cache
+ * version string to hand-bump here), environment-controlled run scale,
+ * and table printing.
  *
  * Environment knobs:
- *   GEYSER_CACHE_DIR     cache directory (default /tmp/geyser_bench_cache)
+ *   GEYSER_CACHE_DIR     cache directory (default /tmp/geyser_cache)
  *   GEYSER_NO_CACHE=1    disable the cache
+ *   GEYSER_CACHE_MAX_MB  LRU size cap for the cache directory (MB)
  *   GEYSER_BENCH_HEAVY=1 include the >10-qubit benchmarks in TVD runs
  *   GEYSER_TRAJECTORIES  noisy-trajectory count (default 200)
  */

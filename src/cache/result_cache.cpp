@@ -1,0 +1,404 @@
+#include "cache/result_cache.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "io/framing.hpp"
+#include "io/serialize.hpp"
+#include "obs/obs.hpp"
+
+namespace geyser {
+namespace cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *kEntrySuffix = ".gce";
+
+/** A lock file older than this is presumed abandoned by a dead process. */
+constexpr auto kStaleLockAge = std::chrono::minutes(10);
+
+long long
+envMaxBytes()
+{
+    const char *env = std::getenv("GEYSER_CACHE_MAX_MB");
+    if (env == nullptr)
+        return 0;
+    const long long mb = std::atoll(env);
+    return mb > 0 ? mb * 1024 * 1024 : 0;
+}
+
+/** O_CREAT|O_EXCL lock-file acquisition; true if we own the lock. */
+bool
+tryCreateLockFile(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;
+    char pid[32];
+    const int len = std::snprintf(pid, sizeof(pid), "%ld",
+                                  static_cast<long>(::getpid()));
+    if (len > 0) {
+        // Best-effort provenance only; the lock is the file's existence.
+        [[maybe_unused]] const ssize_t n = ::write(fd, pid, len);
+    }
+    ::close(fd);
+    return true;
+}
+
+bool
+lockIsFresh(const std::string &path)
+{
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(path, ec);
+    if (ec)
+        return false;  // Vanished — owner finished.
+    return fs::file_time_type::clock::now() - mtime < kStaleLockAge;
+}
+
+}  // namespace
+
+CacheConfig
+CacheConfig::fromEnv()
+{
+    CacheConfig config;
+    const char *dir = std::getenv("GEYSER_CACHE_DIR");
+    config.dir = dir != nullptr ? dir : "/tmp/geyser_cache";
+    config.maxBytes = envMaxBytes();
+    const char *off = std::getenv("GEYSER_NO_CACHE");
+    config.enabled = !(off != nullptr && std::string(off) == "1");
+    return config;
+}
+
+ResultCache::ResultCache(CacheConfig config) : config_(std::move(config))
+{
+    if (!config_.enabled || config_.dir.empty())
+        return;
+    if (io::createDirectories(config_.dir)) {
+        enabled_ = true;
+        return;
+    }
+    // A nested GEYSER_CACHE_DIR=/a/b/c used to silently disable caching
+    // forever (single-level mkdir); now parents are created recursively
+    // and a genuine failure is surfaced exactly once per cache.
+    obs::counter("cache.dir_error").add();
+    std::fprintf(stderr,
+                 "geyser cache disabled: cannot create directory %s\n",
+                 config_.dir.c_str());
+}
+
+ResultCache &
+ResultCache::global()
+{
+    static ResultCache instance(CacheConfig::fromEnv());
+    return instance;
+}
+
+ResultCache::Flight &
+ResultCache::flightFor(const std::string &key)
+{
+    const uint64_t h = io::fnv1a64(key.data(), key.size());
+    return flights_[h % kFlightStripes];
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return config_.dir + "/" + key + kEntrySuffix;
+}
+
+void
+ResultCache::quarantine(const std::string &path)
+{
+    std::error_code ec;
+    fs::rename(path, path + ".corrupt", ec);
+    if (ec)
+        fs::remove(path, ec);  // Rename failed: at least stop re-reading it.
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.corrupt;
+    }
+    obs::counter("cache.corrupt").add();
+}
+
+std::optional<std::string>
+ResultCache::load(const std::string &key)
+{
+    static obs::Counter &hits = obs::counter("cache.hit");
+    static obs::Counter &misses = obs::counter("cache.miss");
+    if (!enabled_)
+        return std::nullopt;
+    obs::Span span("cache.load", "cache");
+    const std::string path = entryPath(key);
+    const auto framed = io::readFileBytes(path);
+    if (!framed) {
+        misses.add();
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    auto payload = io::unframeWithChecksum(*framed);
+    if (!payload) {
+        // Torn, truncated, bit-rotted, or written by an incompatible
+        // frame version: quarantine and treat as a miss.
+        quarantine(path);
+        misses.add();
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    // Refresh LRU recency so hot entries survive the size cap.
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    hits.add();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.hits;
+    }
+    return payload;
+}
+
+bool
+ResultCache::store(const std::string &key, const std::string &payload)
+{
+    if (!enabled_)
+        return false;
+    obs::Span span("cache.store", "cache");
+    const bool ok =
+        io::writeFileAtomic(entryPath(key), io::frameWithChecksum(payload));
+    if (!ok) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.storeFailures;
+        return false;
+    }
+    evictIfNeeded();
+    return true;
+}
+
+std::string
+ResultCache::getOrCompute(const std::string &key,
+                          const std::function<std::string()> &compute,
+                          bool *wasHit)
+{
+    static obs::Counter &waits = obs::counter("cache.singleflight_wait");
+    if (wasHit != nullptr)
+        *wasHit = false;
+    if (!enabled_)
+        return compute();
+
+    obs::Span span("cache.lookup", "cache");
+    if (auto hit = load(key)) {
+        if (wasHit != nullptr)
+            *wasHit = true;
+        return *hit;
+    }
+
+    // In-process single-flight: one winner per key; everyone else waits
+    // on the stripe latch, then reads the winner's entry back from disk.
+    Flight &flight = flightFor(key);
+    {
+        std::unique_lock<std::mutex> lock(flight.mutex);
+        while (flight.inFlight.count(key) != 0) {
+            waits.add();
+            {
+                std::lock_guard<std::mutex> slock(statsMutex_);
+                ++stats_.singleflightWaits;
+            }
+            flight.cv.wait(lock, [&] {
+                return flight.inFlight.count(key) == 0;
+            });
+            lock.unlock();
+            if (auto again = load(key)) {
+                if (wasHit != nullptr)
+                    *wasHit = true;
+                return *again;
+            }
+            // The winner failed to produce an entry (compute threw or
+            // the store failed): take over as the new winner.
+            lock.lock();
+        }
+        flight.inFlight.insert(key);
+    }
+    struct FlightRelease
+    {
+        Flight &flight;
+        const std::string &key;
+        ~FlightRelease()
+        {
+            {
+                std::lock_guard<std::mutex> lock(flight.mutex);
+                flight.inFlight.erase(key);
+            }
+            flight.cv.notify_all();
+        }
+    } flightRelease{flight, key};
+
+    // Cross-process best-effort single-flight: if another process holds
+    // a fresh lock on this key, poll for its entry instead of redoing
+    // the work. Stale locks (dead owner) are ignored.
+    const std::string lockPath = entryPath(key) + ".lock";
+    const bool ownLock = tryCreateLockFile(lockPath);
+    struct LockRelease
+    {
+        const std::string &path;
+        bool owned;
+        ~LockRelease()
+        {
+            if (owned) {
+                std::error_code ec;
+                fs::remove(path, ec);
+            }
+        }
+    } lockRelease{lockPath, ownLock};
+
+    if (!ownLock && config_.crossProcessWaitMs > 0) {
+        waits.add();
+        {
+            std::lock_guard<std::mutex> slock(statsMutex_);
+            ++stats_.singleflightWaits;
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.crossProcessWaitMs);
+        while (std::chrono::steady_clock::now() < deadline &&
+               lockIsFresh(lockPath)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            if (auto theirs = load(key)) {
+                if (wasHit != nullptr)
+                    *wasHit = true;
+                return *theirs;
+            }
+        }
+        // Timed out or the lock is stale: compute locally (best-effort
+        // means duplicated work beats blocking forever).
+    }
+
+    const std::string payload = compute();
+    store(key, payload);
+    return payload;
+}
+
+long long
+ResultCache::diskUsageBytes() const
+{
+    if (!enabled_)
+        return 0;
+    long long total = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(config_.dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->path().extension() != kEntrySuffix)
+            continue;
+        std::error_code sizeEc;
+        const auto size = it->file_size(sizeEc);
+        if (!sizeEc)
+            total += static_cast<long long>(size);
+    }
+    return total;
+}
+
+void
+ResultCache::evictIfNeeded()
+{
+    static obs::Counter &evictions = obs::counter("cache.evicted");
+    if (config_.maxBytes <= 0)
+        return;
+    std::lock_guard<std::mutex> evictLock(evictMutex_);
+
+    struct Entry
+    {
+        fs::path path;
+        long long size = 0;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    long long total = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(config_.dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->path().extension() != kEntrySuffix)
+            continue;
+        Entry entry;
+        entry.path = it->path();
+        std::error_code entryEc;
+        entry.size = static_cast<long long>(it->file_size(entryEc));
+        if (entryEc)
+            continue;
+        entry.mtime = fs::last_write_time(entry.path, entryEc);
+        if (entryEc)
+            continue;
+        total += entry.size;
+        entries.push_back(std::move(entry));
+    }
+    if (total <= config_.maxBytes)
+        return;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) { return a.mtime < b.mtime; });
+    for (const Entry &entry : entries) {
+        if (total <= config_.maxBytes)
+            break;
+        std::error_code removeEc;
+        if (!fs::remove(entry.path, removeEc) || removeEc)
+            continue;
+        total -= entry.size;
+        evictions.add();
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.evicted;
+    }
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return stats_;
+}
+
+std::string
+compileCacheKey(const Circuit &logical, const PipelineOptions &options,
+                Technique technique)
+{
+    io::Fnv128 h;
+    h.feedValue(kPipelineVersion);
+    h.feedValue(static_cast<int>(technique));
+    h.feedString(circuitToText(logical));
+    // Every option that can change the compiled output, and nothing
+    // else: verify/trace/parallelism knobs alter diagnostics or wall
+    // time, never the result.
+    h.feedValue(options.blocker.pulseAware);
+    h.feedValue(options.blocker.seedCandidates);
+    h.feedValue(options.compose.threshold);
+    h.feedValue(options.compose.maxLayers);
+    h.feedValue(static_cast<int>(options.compose.optimizer));
+    h.feedValue(static_cast<int>(options.compose.entanglerMode));
+    h.feedValue(options.compose.restarts);
+    h.feedValue(options.compose.maxSweeps);
+    h.feedValue(options.compose.maxEvaluationsPerBlock);
+    h.feedValue(options.compose.annealingEvaluations);
+    h.feedValue(options.compose.maxSplitDepth);
+    h.feedValue(options.compose.seed);
+    return "c-" + h.hex();
+}
+
+std::string
+blockCacheKey(uint64_t hi, uint64_t lo)
+{
+    io::Fnv128 h;
+    h.feedValue(kPipelineVersion);
+    h.feedValue(hi);
+    h.feedValue(lo);
+    return "b-" + h.hex();
+}
+
+}  // namespace cache
+}  // namespace geyser

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Crash-safe persistent result cache for compiled circuits and composed
+ * blocks — the first-class promotion of what used to be an ad-hoc
+ * per-bench-binary file cache in bench/common.cpp. Usable by the
+ * pipeline (PipelineOptions::cache), geyserc (--cache-dir), and every
+ * bench binary; composition dominates every evaluation run, so serving
+ * repeated traffic hinges on never recomputing a circuit or block that
+ * any process on the machine has already compiled.
+ *
+ * Guarantees:
+ *  - Content-addressed keys: FNV-1a 128 over the serialized logical
+ *    circuit, the behaviour-relevant PipelineOptions, the technique,
+ *    and kPipelineVersion. A pipeline change bumps the version constant
+ *    once; old entries stop matching and age out — no hand-maintained
+ *    version strings at call sites.
+ *  - Crash-safe writes: entries are framed with a length header and an
+ *    FNV-1a 64 checksum footer (io/framing), written to a temp file and
+ *    published with an atomic rename. Readers never see a torn entry.
+ *  - Graceful degradation: a corrupt, truncated, or version-skewed
+ *    entry is treated as a miss, quarantined to <entry>.corrupt, and
+ *    counted (cache.corrupt) — never a crash, never a wrong result.
+ *  - Single-flight: concurrent misses on the same key inside one
+ *    process compute once (striped latches); across processes a
+ *    best-effort lock file lets late arrivals wait briefly for the
+ *    winner's entry instead of duplicating hours of composition.
+ *  - Bounded size: GEYSER_CACHE_MAX_MB (or CacheConfig::maxBytes) caps
+ *    the directory; least-recently-used entries are evicted (hits
+ *    refresh an entry's mtime).
+ *
+ * Obs surface: cache.hit / cache.miss / cache.corrupt / cache.evicted /
+ * cache.singleflight_wait counters and a cache.lookup span, plus
+ * always-on CacheStats atomics for tests and reports.
+ */
+#ifndef GEYSER_CACHE_RESULT_CACHE_HPP
+#define GEYSER_CACHE_RESULT_CACHE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "geyser/pipeline.hpp"
+
+namespace geyser {
+namespace cache {
+
+/** Construction-time configuration. */
+struct CacheConfig
+{
+    /** Entry directory (created recursively; empty disables the cache). */
+    std::string dir;
+    /** Size cap in bytes; <= 0 means unbounded. */
+    long long maxBytes = 0;
+    /** Master switch (GEYSER_NO_CACHE=1 turns it off from the env). */
+    bool enabled = true;
+    /**
+     * How long a getOrCompute() miss waits on another process's lock
+     * file before giving up and computing anyway (best-effort
+     * cross-process single-flight; 0 disables the wait).
+     */
+    int crossProcessWaitMs = 10000;
+
+    /**
+     * Environment-driven config: GEYSER_CACHE_DIR (default
+     * /tmp/geyser_cache), GEYSER_NO_CACHE=1, GEYSER_CACHE_MAX_MB.
+     */
+    static CacheConfig fromEnv();
+};
+
+/** Always-on activity counters (obs counters mirror these when enabled). */
+struct CacheStats
+{
+    long hits = 0;
+    long misses = 0;
+    long corrupt = 0;       ///< Entries quarantined (checksum/frame skew).
+    long evicted = 0;       ///< Entries removed by the LRU size cap.
+    long singleflightWaits = 0;  ///< Lookups that waited on another flight.
+    long storeFailures = 0; ///< Best-effort writes that did not land.
+};
+
+/**
+ * A persistent, process-shared result cache rooted at one directory.
+ * All methods are thread-safe; all failures degrade to "cache miss" or
+ * "entry not stored" — the cache never throws for I/O reasons.
+ */
+class ResultCache
+{
+  public:
+    explicit ResultCache(CacheConfig config);
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Process-wide cache configured from the environment. Lazily
+     * constructed on first use; shared by the bench binaries.
+     */
+    static ResultCache &global();
+
+    /** False when disabled by config/env or the directory is unusable. */
+    bool enabled() const { return enabled_; }
+
+    const std::string &dir() const { return config_.dir; }
+
+    /**
+     * Fetch an entry's payload. Missing → nullopt (cache.miss); corrupt
+     * or truncated or version-skewed → quarantined + nullopt
+     * (cache.corrupt); hit refreshes the entry's LRU recency.
+     */
+    std::optional<std::string> load(const std::string &key);
+
+    /**
+     * Store a payload crash-safely (temp file + checksum + rename),
+     * then enforce the size cap. Best-effort: returns false if the
+     * entry could not be written.
+     */
+    bool store(const std::string &key, const std::string &payload);
+
+    /**
+     * load(), falling back to compute() exactly once per key across
+     * every concurrent caller in this process (and, best-effort, across
+     * processes via a lock file): late arrivals block until the winner
+     * has stored the entry, then read it back. `wasHit`, when given,
+     * reports whether the payload came from disk. If compute() throws,
+     * the flight is released and the exception propagates.
+     */
+    std::string getOrCompute(const std::string &key,
+                             const std::function<std::string()> &compute,
+                             bool *wasHit = nullptr);
+
+    /** On-disk path of a key's entry file. */
+    std::string entryPath(const std::string &key) const;
+
+    /** Total bytes currently held in entry files (scans the directory). */
+    long long diskUsageBytes() const;
+
+    /** Snapshot of the activity counters. */
+    CacheStats stats() const;
+
+  private:
+    struct Flight
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::unordered_set<std::string> inFlight;
+    };
+
+    static constexpr int kFlightStripes = 16;
+
+    Flight &flightFor(const std::string &key);
+    void quarantine(const std::string &path);
+    void evictIfNeeded();
+
+    CacheConfig config_;
+    bool enabled_ = false;
+    Flight flights_[kFlightStripes];
+    std::mutex evictMutex_;
+    mutable std::mutex statsMutex_;
+    CacheStats stats_;
+};
+
+/**
+ * Content-addressed key for a whole-circuit compile: FNV-1a 128 over
+ * kPipelineVersion, the technique, the serialized logical circuit, and
+ * every PipelineOptions field that can change the compiled output
+ * (blocker and compose options including the seed; verify/trace/
+ * parallelism knobs are excluded — they do not alter the result).
+ */
+std::string compileCacheKey(const Circuit &logical,
+                            const PipelineOptions &options,
+                            Technique technique);
+
+/**
+ * Key for one composed block, derived from the composition memo's
+ * 128-bit content hash (block gates + compose options) plus
+ * kPipelineVersion.
+ */
+std::string blockCacheKey(uint64_t hi, uint64_t lo);
+
+}  // namespace cache
+}  // namespace geyser
+
+#endif  // GEYSER_CACHE_RESULT_CACHE_HPP

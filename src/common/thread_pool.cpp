@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #ifdef __linux__
 #include <pthread.h>
@@ -10,6 +11,17 @@
 #include "obs/obs.hpp"
 
 namespace geyser {
+
+namespace {
+
+/**
+ * The pool (if any) whose workerLoop owns the current thread. Lets
+ * parallelFor detect re-entrant calls from its own workers and run them
+ * inline instead of enqueueing work the blocked worker can never drain.
+ */
+thread_local ThreadPool *t_workerPool = nullptr;
+
+}  // namespace
 
 double
 PoolStats::utilizationSince(const PoolStats &start,
@@ -72,6 +84,7 @@ ThreadPool::snapshot() const
     stats.completed = completed_.load(std::memory_order_relaxed);
     stats.workers = static_cast<int>(workers_.size());
     stats.busyMicros = busyMicros_.load(std::memory_order_relaxed);
+    stats.exceptions = exceptions_.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stats.inFlight = inFlight_;
@@ -83,9 +96,43 @@ ThreadPool::snapshot() const
 void
 ThreadPool::parallelFor(int n, const std::function<void(int)> &fn)
 {
-    for (int i = 0; i < n; ++i)
-        submit([&fn, i] { fn(i); });
-    waitIdle();
+    if (n <= 0)
+        return;
+    // Re-entrant call from one of our own workers: the caller already
+    // occupies a worker slot, so queueing and blocking could starve a
+    // small pool into deadlock. Run the nested batch inline; exceptions
+    // propagate naturally.
+    if (t_workerPool == this) {
+        for (int i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    // Each batch completes on its own latch so concurrent parallelFor
+    // callers (block composition vs. trajectory chunks) never wait on
+    // each other's tasks the way a global waitIdle() would.
+    auto batch = std::make_shared<Batch>();
+    batch->remaining = n;
+    for (int i = 0; i < n; ++i) {
+        submit([batch, &fn, i] {
+            std::exception_ptr error;
+            try {
+                fn(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(batch->mutex);
+            if (error && !batch->error)
+                batch->error = error;
+            if (--batch->remaining == 0)
+                batch->cv.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->cv.wait(lock, [&] { return batch->remaining == 0; });
+    // The whole batch has drained (so `fn` is safely dead); surface the
+    // first failure on the calling thread instead of std::terminate.
+    if (batch->error)
+        std::rethrow_exception(batch->error);
 }
 
 void
@@ -97,6 +144,7 @@ ThreadPool::workerLoop(int index)
     pthread_setname_np(pthread_self(), name);
 #endif
     obs::setThreadName(name);
+    t_workerPool = this;
 
     for (;;) {
         Task task;
@@ -117,7 +165,18 @@ ThreadPool::workerLoop(int index)
                 span.arg("wait_us", waitUs);
                 obs::histogram("pool.task_wait_us").record(waitUs);
             }
-            task.fn();
+            // A throwing task must never unwind into the worker loop:
+            // that would std::terminate the process and skip the
+            // in-flight bookkeeping below, hanging every waitIdle()
+            // caller. parallelFor wraps its tasks to propagate the
+            // exception; anything escaping a bare submit() is swallowed
+            // and counted here.
+            try {
+                task.fn();
+            } catch (...) {
+                exceptions_.fetch_add(1, std::memory_order_relaxed);
+                obs::counter("pool.task_exception").add();
+            }
         }
         const uint64_t stop = obs::nowMicros();
         busyMicros_.fetch_add(static_cast<long>(stop - start),

@@ -9,6 +9,16 @@
  * span per task plus queue-depth samples and wait/run-time histograms.
  * Workers are named ("geyser-wk0", ...) for trace readability and
  * debugger ergonomics.
+ *
+ * Exception safety: a task that throws never reaches std::terminate.
+ * parallelFor() captures the first exception thrown by any of its tasks
+ * and rethrows it on the calling thread after the whole batch has
+ * drained; exceptions from bare submit() tasks are swallowed and counted
+ * (PoolStats::exceptions, pool.task_exception). Each parallelFor() batch
+ * completes on its own latch, so concurrent batches from different
+ * threads do not wait on each other's tasks, and a task that re-enters
+ * parallelFor() on its own pool runs the nested batch inline instead of
+ * deadlocking on a starved queue.
  */
 #ifndef GEYSER_COMMON_THREAD_POOL_HPP
 #define GEYSER_COMMON_THREAD_POOL_HPP
@@ -16,6 +26,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -33,6 +44,7 @@ struct PoolStats
     int queued = 0;        ///< Waiting in the queue (subset of inFlight).
     int workers = 0;       ///< Worker-thread count.
     long busyMicros = 0;   ///< Total wall time spent inside tasks.
+    long exceptions = 0;   ///< Swallowed throws from bare submit() tasks.
 
     /**
      * Fraction of worker capacity spent running tasks over an interval,
@@ -69,8 +81,14 @@ class ThreadPool
     PoolStats snapshot() const;
 
     /**
-     * Convenience: run fn(i) for i in [0, n) across the pool and wait.
-     * fn must be safe to invoke concurrently for distinct i.
+     * Convenience: run fn(i) for i in [0, n) across the pool and wait
+     * for exactly this batch (not for unrelated in-flight tasks). fn
+     * must be safe to invoke concurrently for distinct i. If any
+     * invocation throws, the remaining tasks of the batch still run to
+     * completion and the first exception is rethrown on the calling
+     * thread. Called from one of this pool's own workers, the batch
+     * runs inline on the caller (a worker blocking on its own queue
+     * would deadlock a 1-worker pool).
      */
     void parallelFor(int n, const std::function<void(int)> &fn);
 
@@ -79,6 +97,15 @@ class ThreadPool
     {
         std::function<void()> fn;
         uint64_t submitMicros = 0;
+    };
+
+    /** Completion state shared by one parallelFor batch. */
+    struct Batch
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        int remaining = 0;
+        std::exception_ptr error;
     };
 
     void workerLoop(int index);
@@ -93,6 +120,7 @@ class ThreadPool
     std::atomic<long> submitted_{0};
     std::atomic<long> completed_{0};
     std::atomic<long> busyMicros_{0};
+    std::atomic<long> exceptions_{0};
 };
 
 /** Global pool shared by the library (lazily constructed). */

@@ -8,7 +8,10 @@
 #include <type_traits>
 #include <unordered_map>
 
+#include "cache/result_cache.hpp"
 #include "common/rng.hpp"
+#include "io/framing.hpp"
+#include "io/serialize.hpp"
 #include "obs/obs.hpp"
 #include "opt/dual_annealing.hpp"
 #include "sim/unitary_sim.hpp"
@@ -436,39 +439,12 @@ struct MemoKeyHash
     }
 };
 
-/** Incremental 128-bit FNV-1a (offset basis / prime per the spec). */
-struct Fnv128
-{
-    uint64_t hi = 0x6c62272e07bb0142ull;
-    uint64_t lo = 0x62b821756295c58dull;
-
-    void feed(const void *data, size_t len)
-    {
-        constexpr uint64_t kPrimeLo = 0x000000000000013bull;
-        constexpr uint64_t kPrimeHi = 0x0000000001000000ull;
-        const auto *bytes = static_cast<const unsigned char *>(data);
-        for (size_t i = 0; i < len; ++i) {
-            lo ^= bytes[i];
-            // (hi, lo) *= prime, keeping the low 128 bits.
-            const unsigned __int128 p =
-                static_cast<unsigned __int128>(lo) * kPrimeLo;
-            const uint64_t carry = static_cast<uint64_t>(p >> 64);
-            hi = hi * kPrimeLo + lo * kPrimeHi + carry;
-            lo = static_cast<uint64_t>(p);
-        }
-    }
-    template <typename T> void feedValue(const T &v)
-    {
-        static_assert(std::is_trivially_copyable<T>::value,
-                      "feedValue: raw-byte hashing needs a POD");
-        feed(&v, sizeof(v));
-    }
-};
-
 MemoKey
 memoKey(const Circuit &block, const ComposeOptions &options)
 {
-    Fnv128 h;
+    // io::Fnv128 is the same incremental hash the persistent cache keys
+    // use, so the memo key doubles as the block's disk-spill identity.
+    io::Fnv128 h;
     h.feedValue(block.numQubits());
     h.feedValue(options.threshold);
     h.feedValue(options.maxLayers);
@@ -529,6 +505,26 @@ composeBlockCached(const Circuit &block, const ComposeOptions &options)
         }
     }
     memoMisses.add();
+
+    // In-memory miss: before searching, consult the persistent spill —
+    // a previous process may already have composed this exact block.
+    cache::ResultCache *spill =
+        options.spill != nullptr && options.spill->enabled() ? options.spill
+                                                             : nullptr;
+    const std::string spillKey =
+        spill != nullptr ? cache::blockCacheKey(key.hi, key.lo)
+                         : std::string();
+    if (spill != nullptr) {
+        if (auto payload = spill->load(spillKey)) {
+            if (auto replayed = composeResultFromText(*payload)) {
+                obs::counter("compose.spill_hits").add();
+                std::lock_guard<std::mutex> lock(shard.mutex);
+                return shard.map.emplace(key, std::move(*replayed))
+                    .first->second;
+            }
+        }
+    }
+
     const ComposeResult result = composeRecursive(block, options, 0);
     evaluations.add(result.evaluations);
     if (result.composed)
@@ -536,6 +532,8 @@ composeBlockCached(const Circuit &block, const ComposeOptions &options)
     if (obs::enabled())
         obs::histogram("compose.evaluations_per_block")
             .record(static_cast<double>(result.evaluations));
+    if (spill != nullptr)
+        spill->store(spillKey, composeResultToText(result));
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.map.emplace(key, result);

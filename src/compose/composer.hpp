@@ -24,6 +24,10 @@
 
 namespace geyser {
 
+namespace cache {
+class ResultCache;
+}  // namespace cache
+
 /** Optimization strategy for the angle search. */
 enum class ComposeOptimizer { Rotosolve, DualAnnealing, Hybrid };
 
@@ -58,6 +62,14 @@ struct ComposeOptions
      */
     int maxSplitDepth = 2;
     uint64_t seed = 7;
+    /**
+     * Optional persistent cache (not owned) that composeBlockCached()
+     * spills its memo through: an in-memory miss consults the disk
+     * entry for the block's content hash before searching, and every
+     * fresh composition is stored back. Excluded from the memo key.
+     * Normally plumbed from PipelineOptions::cache by compileGeyser.
+     */
+    cache::ResultCache *spill = nullptr;
 };
 
 /** Outcome of composing one block. */

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "cache/result_cache.hpp"
 #include "circuit/schedule.hpp"
 #include "common/thread_pool.hpp"
+#include "io/serialize.hpp"
 #include "obs/obs.hpp"
 #include "sim/statevector.hpp"
 #include "transpile/basis.hpp"
@@ -272,6 +274,12 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
         for (const auto &block : round.blocks)
             blocks.push_back(&block);
 
+    // The composed-block memo spills through the persistent cache when
+    // one is attached, so repeated blocks survive process restarts.
+    ComposeOptions composeOptions = options.compose;
+    if (composeOptions.spill == nullptr)
+        composeOptions.spill = options.cache;
+
     std::vector<ComposeResult> composed(blocks.size());
     auto composeOne = [&](int i) {
         // Identical local blocks (every Trotter step, every ripple-carry
@@ -280,7 +288,7 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
         obs::Span s("compose.block", "compose");
         const auto &cr = composed[static_cast<size_t>(i)] = composeBlockCached(
             blocked.localCircuit(*blocks[static_cast<size_t>(i)]),
-            options.compose);
+            composeOptions);
         if (s.active()) {
             s.arg("block", i);
             s.arg("atoms",
@@ -328,9 +336,11 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
     return result;
 }
 
+namespace {
+
 CompileResult
-compile(Technique technique, const Circuit &logical,
-        const PipelineOptions &options)
+compileUncached(Technique technique, const Circuit &logical,
+                const PipelineOptions &options)
 {
     switch (technique) {
       case Technique::Baseline:
@@ -343,6 +353,37 @@ compile(Technique technique, const Circuit &logical,
         return compileSuperconducting(logical, options);
     }
     throw std::invalid_argument("compile: unknown technique");
+}
+
+}  // namespace
+
+CompileResult
+compile(Technique technique, const Circuit &logical,
+        const PipelineOptions &options)
+{
+    cache::ResultCache *cache = options.cache;
+    if (cache == nullptr || !cache->enabled())
+        return compileUncached(technique, logical, options);
+
+    const std::string key =
+        cache::compileCacheKey(logical, options, technique);
+    // Single-flight: concurrent misses on this key — other threads, and
+    // best-effort other processes — compute once and replay the stored
+    // entry. A compute keeps its in-memory result; replays are rebuilt
+    // from the serialized payload (checksummed by the cache layer).
+    std::optional<CompileResult> computed;
+    const std::string payload = cache->getOrCompute(key, [&] {
+        computed = compileUncached(technique, logical, options);
+        return compileResultToText(*computed);
+    });
+    if (computed)
+        return std::move(*computed);
+    if (auto replayed = compileResultFromText(payload, logical))
+        return std::move(*replayed);
+    // A payload that passed the checksum but fails to parse means the
+    // serializer and parser disagree (a bug, not disk corruption);
+    // degrade to an uncached compile rather than erroring out.
+    return compileUncached(technique, logical, options);
 }
 
 Distribution

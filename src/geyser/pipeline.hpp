@@ -29,6 +29,22 @@
 
 namespace geyser {
 
+namespace cache {
+class ResultCache;
+}  // namespace cache
+
+/**
+ * Behavioural version of the whole pipeline, folded into every
+ * persistent-cache key (src/cache). Bump it whenever any change can
+ * alter a compiled circuit bit-for-bit (new passes, different sweep
+ * orders, retuned budgets); stale on-disk entries then simply stop
+ * matching and age out of the cache. Replaces the hand-bumped version
+ * string that used to live in bench/common.cpp (history: v4 added stage
+ * wall times, v5 the incremental composition kernel, v6 this constant
+ * and the checksummed cache framing).
+ */
+inline constexpr int kPipelineVersion = 6;
+
 /** The compilation strategy to apply. */
 enum class Technique { Baseline, OptiMap, Geyser, Superconducting };
 
@@ -66,6 +82,17 @@ struct PipelineOptions
      * obs::writeMetricsJsonl after the call.
      */
     bool trace = false;
+    /**
+     * Optional persistent result cache (not owned). When set, compile()
+     * serves whole-circuit results content-addressed on the logical
+     * circuit + behavioural options + technique + kPipelineVersion, and
+     * the Geyser composition stage spills its composed-block memo
+     * through the same cache, so repeated blocks survive process
+     * restarts. Concurrent misses on one key compute once
+     * (single-flight); corrupt or stale entries degrade to a recompute,
+     * never an error. nullptr compiles uncached.
+     */
+    cache::ResultCache *cache = nullptr;
 };
 
 /** Everything the benches report about one compiled circuit. */

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Checksummed on-disk framing and crash-safe file primitives shared by
+ * the persistent result cache (src/cache) and anything else that must
+ * survive torn writes:
+ *
+ *  - FNV-1a hashing (64- and 128-bit) over raw bytes, used both for the
+ *    frame checksum and for content-addressed cache keys.
+ *  - A self-describing frame: header with format version and payload
+ *    length, payload bytes, footer with the payload's FNV-1a 64
+ *    checksum. Truncation, bit rot, and format-version skew all fail
+ *    closed (unframe returns nullopt, never throws, never reads OOB).
+ *  - Atomic whole-file writes: contents land in a same-directory temp
+ *    file first and are published with rename(2), so concurrent readers
+ *    see either the old file or the complete new one, never a torn mix.
+ */
+#ifndef GEYSER_IO_FRAMING_HPP
+#define GEYSER_IO_FRAMING_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <type_traits>
+
+namespace geyser {
+namespace io {
+
+/** FNV-1a 64-bit over a byte range. */
+uint64_t fnv1a64(const void *data, size_t len);
+
+/**
+ * Incremental 128-bit FNV-1a (offset basis / prime per the spec).
+ * Large enough that accidental key collisions over a process or cache
+ * lifetime are vanishingly unlikely.
+ */
+struct Fnv128
+{
+    uint64_t hi = 0x6c62272e07bb0142ull;
+    uint64_t lo = 0x62b821756295c58dull;
+
+    void feed(const void *data, size_t len)
+    {
+        constexpr uint64_t kPrimeLo = 0x000000000000013bull;
+        constexpr uint64_t kPrimeHi = 0x0000000001000000ull;
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            lo ^= bytes[i];
+            // (hi, lo) *= prime, keeping the low 128 bits.
+            const unsigned __int128 p =
+                static_cast<unsigned __int128>(lo) * kPrimeLo;
+            const uint64_t carry = static_cast<uint64_t>(p >> 64);
+            hi = hi * kPrimeLo + lo * kPrimeHi + carry;
+            lo = static_cast<uint64_t>(p);
+        }
+    }
+
+    template <typename T> void feedValue(const T &v)
+    {
+        static_assert(std::is_trivially_copyable<T>::value,
+                      "feedValue: raw-byte hashing needs a POD");
+        feed(&v, sizeof(v));
+    }
+
+    void feedString(const std::string &s) { feed(s.data(), s.size()); }
+
+    /** 32 lowercase hex digits (hi then lo). */
+    std::string hex() const;
+};
+
+/**
+ * Wrap a payload in the checksummed frame:
+ *
+ *   geyser-frame v1 <payload-bytes>\n
+ *   <payload>\n
+ *   fnv64 <16 hex digits>\n
+ *
+ * The header carries the exact payload length so truncation is detected
+ * even when the cut happens to land on a line boundary, and the footer
+ * checksum catches in-place corruption.
+ */
+std::string frameWithChecksum(const std::string &payload);
+
+/**
+ * Validate and strip a frame. Returns the payload, or nullopt when the
+ * magic/version is wrong, the payload is shorter than the header
+ * promises (truncation), the footer is missing, or the checksum does
+ * not match. Never throws.
+ */
+std::optional<std::string> unframeWithChecksum(const std::string &framed);
+
+/**
+ * Write `contents` to `path` crash-safely: a unique temp file in the
+ * same directory, then an atomic rename over the target. Returns false
+ * (without throwing) if any step fails; a failed write never leaves a
+ * partial file at `path`.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &contents);
+
+/** Whole-file read; nullopt if the file cannot be opened. */
+std::optional<std::string> readFileBytes(const std::string &path);
+
+/**
+ * mkdir -p: create `path` and any missing parents. Returns true if the
+ * directory exists on return (a pre-existing directory is success).
+ */
+bool createDirectories(const std::string &path);
+
+}  // namespace io
+}  // namespace geyser
+
+#endif  // GEYSER_IO_FRAMING_HPP

@@ -126,12 +126,10 @@ circuitToQasm(const Circuit &circuit)
     return out.str();
 }
 
-void
-saveCompileResult(const std::string &path, const CompileResult &result)
+std::string
+compileResultToText(const CompileResult &result)
 {
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("saveCompileResult: cannot open " + path);
+    std::ostringstream out;
     out << "geyser-cache-v1\n";
     out << "technique " << techniqueName(result.technique) << "\n";
     out << "swaps " << result.swapsInserted << "\n";
@@ -153,14 +151,22 @@ saveCompileResult(const std::string &path, const CompileResult &result)
     out << "\n";
     out << "endheader\n";
     out << circuitToText(result.physical);
+    return out.str();
+}
+
+void
+saveCompileResult(const std::string &path, const CompileResult &result)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("saveCompileResult: cannot open " + path);
+    out << compileResultToText(result);
 }
 
 std::optional<CompileResult>
-loadCompileResult(const std::string &path, const Circuit &logical)
+compileResultFromText(const std::string &text, const Circuit &logical)
 {
-    std::ifstream in(path);
-    if (!in)
-        return std::nullopt;
+    std::istringstream in(text);
     std::string line;
     if (!std::getline(in, line) || line != "geyser-cache-v1")
         return std::nullopt;
@@ -218,6 +224,70 @@ loadCompileResult(const std::string &path, const Circuit &logical)
     else
         result.stats.depthPulses =
             depthPulses(result.physical, result.topology);
+    return result;
+}
+
+std::optional<CompileResult>
+loadCompileResult(const std::string &path, const Circuit &logical)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return compileResultFromText(buf.str(), logical);
+}
+
+std::string
+composeResultToText(const ComposeResult &result)
+{
+    std::ostringstream out;
+    out << "geyser-compose-v1\n";
+    out << "composed " << (result.composed ? 1 : 0) << "\n";
+    out << "layers " << result.layersUsed << "\n";
+    out << "hsd " << formatDouble(result.hsd) << "\n";
+    out << "evals " << result.evaluations << "\n";
+    out << "saved " << result.pulsesSaved << "\n";
+    out << "endheader\n";
+    out << circuitToText(result.circuit);
+    return out.str();
+}
+
+std::optional<ComposeResult>
+composeResultFromText(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != "geyser-compose-v1")
+        return std::nullopt;
+    ComposeResult result;
+    try {
+        std::string key;
+        while (in >> key && key != "endheader") {
+            if (key == "composed") {
+                int v = 0;
+                in >> v;
+                result.composed = v != 0;
+            } else if (key == "layers") {
+                in >> result.layersUsed;
+            } else if (key == "hsd") {
+                in >> result.hsd;
+            } else if (key == "evals") {
+                in >> result.evaluations;
+            } else if (key == "saved") {
+                in >> result.pulsesSaved;
+            } else {
+                return std::nullopt;
+            }
+        }
+        if (key != "endheader" || !in)
+            return std::nullopt;
+        std::ostringstream rest;
+        rest << in.rdbuf();
+        result.circuit = circuitFromText(rest.str());
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
     return result;
 }
 

@@ -25,18 +25,40 @@ Circuit circuitFromText(const std::string &text);
 std::string circuitToQasm(const Circuit &circuit);
 
 /**
- * Persist the replayable parts of a CompileResult (physical circuit,
- * layout, counters). The logical circuit and topology are rebuilt by the
- * loader from the benchmark spec, so they are not stored.
+ * Serialize the replayable parts of a CompileResult (physical circuit,
+ * layout, counters) to text. The logical circuit and topology are
+ * rebuilt by the loader from the caller, so they are not stored. This is
+ * the payload format of the persistent result cache (src/cache).
  */
+std::string compileResultToText(const CompileResult &result);
+
+/**
+ * Parse compileResultToText() output; returns std::nullopt on any
+ * malformed input. `logical` and the topology are filled in from the
+ * caller, and derived statistics are recomputed.
+ */
+std::optional<CompileResult> compileResultFromText(const std::string &text,
+                                                   const Circuit &logical);
+
+/** compileResultToText() to a file; throws if the file cannot open. */
 void saveCompileResult(const std::string &path, const CompileResult &result);
 
 /**
- * Load a cached result; returns std::nullopt if the file is missing or
+ * Load a saved result; returns std::nullopt if the file is missing or
  * malformed. `logical` and the topology are filled in from the caller.
  */
 std::optional<CompileResult> loadCompileResult(const std::string &path,
                                                const Circuit &logical);
+
+/**
+ * Serialize one block-composition outcome (src/compose) — the adopted
+ * circuit plus the search summary — for the composed-block spill of the
+ * persistent cache.
+ */
+std::string composeResultToText(const ComposeResult &result);
+
+/** Parse composeResultToText() output; nullopt on malformed input. */
+std::optional<ComposeResult> composeResultFromText(const std::string &text);
 
 }  // namespace geyser
 

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Tests for the persistent result cache (src/cache) and its checksummed
+ * framing (src/io/framing): crash-safety and corruption fallback,
+ * single-flight deduplication, LRU eviction, and end-to-end replay of
+ * compiled circuits through PipelineOptions::cache.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/result_cache.hpp"
+#include "compose/composer.hpp"
+#include "geyser/pipeline.hpp"
+#include "io/framing.hpp"
+#include "io/serialize.hpp"
+
+namespace geyser {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh unique cache directory per test, removed on teardown. */
+class CacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        char pattern[] = "/tmp/geyser_cache_test_XXXXXX";
+        ASSERT_NE(::mkdtemp(pattern), nullptr);
+        dir_ = pattern;
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    cache::CacheConfig config(long long max_bytes = 0) const
+    {
+        cache::CacheConfig cfg;
+        cfg.dir = dir_;
+        cfg.maxBytes = max_bytes;
+        cfg.crossProcessWaitMs = 0;  // No other processes in tests.
+        return cfg;
+    }
+
+    std::string dir_;
+};
+
+TEST(Framing, RoundTripsArbitraryPayload)
+{
+    const std::string payload = "line one\nline two\n\0binary\x7f ok";
+    const std::string framed = io::frameWithChecksum(payload);
+    const auto back = io::unframeWithChecksum(framed);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, payload);
+}
+
+TEST(Framing, DetectsTruncationAtEveryLength)
+{
+    const std::string framed = io::frameWithChecksum("some cached payload");
+    for (size_t len = 0; len < framed.size(); ++len)
+        EXPECT_FALSE(io::unframeWithChecksum(framed.substr(0, len)))
+            << "truncation to " << len << " bytes must not unframe";
+}
+
+TEST(Framing, DetectsBitFlip)
+{
+    std::string framed = io::frameWithChecksum("payload under test");
+    const size_t mid = framed.size() / 2;
+    framed[mid] = static_cast<char>(framed[mid] ^ 0x20);
+    EXPECT_FALSE(io::unframeWithChecksum(framed).has_value());
+}
+
+TEST(Framing, RejectsVersionSkew)
+{
+    std::string framed = io::frameWithChecksum("payload");
+    const size_t v = framed.find("v1");
+    ASSERT_NE(v, std::string::npos);
+    framed[v + 1] = '9';
+    EXPECT_FALSE(io::unframeWithChecksum(framed).has_value());
+}
+
+TEST(Framing, AtomicWriteLeavesNoTempFileBehind)
+{
+    char pattern[] = "/tmp/geyser_framing_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(pattern), nullptr);
+    const std::string dir = pattern;
+    const std::string path = dir + "/file.txt";
+    ASSERT_TRUE(io::writeFileAtomic(path, "hello"));
+    EXPECT_EQ(io::readFileBytes(path).value_or(""), "hello");
+    size_t files = 0;
+    for ([[maybe_unused]] const auto &e : fs::directory_iterator(dir))
+        ++files;
+    EXPECT_EQ(files, 1u);
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}
+
+TEST(Framing, CreateDirectoriesIsRecursive)
+{
+    char pattern[] = "/tmp/geyser_framing_dirs_XXXXXX";
+    ASSERT_NE(::mkdtemp(pattern), nullptr);
+    const std::string nested = std::string(pattern) + "/a/b/c";
+    EXPECT_TRUE(io::createDirectories(nested));
+    EXPECT_TRUE(fs::is_directory(nested));
+    EXPECT_TRUE(io::createDirectories(nested));  // Idempotent.
+    std::error_code ec;
+    fs::remove_all(pattern, ec);
+}
+
+TEST_F(CacheTest, StoreLoadRoundTrip)
+{
+    cache::ResultCache cache(config());
+    ASSERT_TRUE(cache.enabled());
+    EXPECT_FALSE(cache.load("c-abc").has_value());
+    ASSERT_TRUE(cache.store("c-abc", "the payload"));
+    const auto hit = cache.load("c-abc");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "the payload");
+    EXPECT_EQ(cache.stats().hits, 1);
+    EXPECT_EQ(cache.stats().misses, 1);
+    EXPECT_EQ(cache.stats().corrupt, 0);
+}
+
+TEST_F(CacheTest, NestedCacheDirIsCreatedRecursively)
+{
+    cache::CacheConfig cfg = config();
+    cfg.dir = dir_ + "/deeply/nested/cache";
+    cache::ResultCache cache(cfg);
+    ASSERT_TRUE(cache.enabled());  // Used to silently disable forever.
+    ASSERT_TRUE(cache.store("c-key", "value"));
+    EXPECT_EQ(cache.load("c-key").value_or(""), "value");
+}
+
+TEST_F(CacheTest, UncreatableDirDisablesGracefully)
+{
+    cache::CacheConfig cfg = config();
+    cfg.dir = "/proc/definitely/not/writable";
+    cache::ResultCache cache(cfg);
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.store("c-key", "value"));
+    EXPECT_FALSE(cache.load("c-key").has_value());
+}
+
+TEST_F(CacheTest, DisabledCacheNeverTouchesDisk)
+{
+    cache::CacheConfig cfg = config();
+    cfg.enabled = false;
+    cache::ResultCache cache(cfg);
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.store("c-key", "value"));
+    size_t files = 0;
+    for ([[maybe_unused]] const auto &e : fs::directory_iterator(dir_))
+        ++files;
+    EXPECT_EQ(files, 0u);
+}
+
+TEST_F(CacheTest, TruncatedEntryIsQuarantinedAndRecomputable)
+{
+    cache::ResultCache cache(config());
+    ASSERT_TRUE(cache.store("c-trunc", "a payload long enough to truncate"));
+    const std::string path = cache.entryPath("c-trunc");
+    const auto framed = io::readFileBytes(path);
+    ASSERT_TRUE(framed.has_value());
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << framed->substr(0, framed->size() / 2);
+    }
+    EXPECT_FALSE(cache.load("c-trunc").has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1);
+    EXPECT_FALSE(fs::exists(path)) << "corrupt entry must be quarantined";
+    EXPECT_TRUE(fs::exists(path + ".corrupt"));
+    // The slot is reusable: a recompute stores and loads cleanly.
+    ASSERT_TRUE(cache.store("c-trunc", "recomputed"));
+    EXPECT_EQ(cache.load("c-trunc").value_or(""), "recomputed");
+    EXPECT_EQ(cache.stats().corrupt, 1);
+}
+
+TEST_F(CacheTest, BitFlippedEntryIsMissNotCrash)
+{
+    cache::ResultCache cache(config());
+    ASSERT_TRUE(cache.store("c-rot", "payload whose bits will rot"));
+    const std::string path = cache.entryPath("c-rot");
+    auto framed = io::readFileBytes(path);
+    ASSERT_TRUE(framed.has_value());
+    (*framed)[framed->size() / 2] ^= 0x01;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << *framed;
+    }
+    EXPECT_FALSE(cache.load("c-rot").has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1);
+}
+
+TEST_F(CacheTest, FrameVersionSkewIsMiss)
+{
+    cache::ResultCache cache(config());
+    // An entry written by a hypothetical future/incompatible frame
+    // format must be treated as a miss, not parsed.
+    ASSERT_TRUE(io::writeFileAtomic(cache.entryPath("c-skew"),
+                                    "geyser-frame v9 5\nhello\nfnv64 "
+                                    "0000000000000000\n"));
+    EXPECT_FALSE(cache.load("c-skew").has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1);
+}
+
+TEST_F(CacheTest, GetOrComputeMissThenHit)
+{
+    cache::ResultCache cache(config());
+    int computes = 0;
+    bool hit = true;
+    const auto value = cache.getOrCompute("c-k", [&] {
+        ++computes;
+        return std::string("computed-value");
+    }, &hit);
+    EXPECT_EQ(value, "computed-value");
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(computes, 1);
+    const auto again = cache.getOrCompute("c-k", [&] {
+        ++computes;
+        return std::string("should-not-run");
+    }, &hit);
+    EXPECT_EQ(again, "computed-value");
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(computes, 1);
+}
+
+TEST_F(CacheTest, SingleFlightComputesOnceAcrossThreads)
+{
+    cache::ResultCache cache(config());
+    std::atomic<int> computes{0};
+    constexpr int kThreads = 8;
+    std::vector<std::string> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            results[static_cast<size_t>(t)] =
+                cache.getOrCompute("c-flight", [&] {
+                    ++computes;
+                    // Give the other threads time to pile onto the latch.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(100));
+                    return std::string("flight-payload");
+                });
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(computes.load(), 1) << "concurrent misses must compute once";
+    for (const auto &r : results)
+        EXPECT_EQ(r, "flight-payload");
+    EXPECT_GE(cache.stats().singleflightWaits, 1);
+}
+
+TEST_F(CacheTest, SingleFlightRecoversWhenComputeThrows)
+{
+    cache::ResultCache cache(config());
+    EXPECT_THROW(cache.getOrCompute("c-throw", []() -> std::string {
+        throw std::runtime_error("compose exploded");
+    }), std::runtime_error);
+    // The flight latch must have been released: a retry computes.
+    const auto value =
+        cache.getOrCompute("c-throw", [] { return std::string("ok"); });
+    EXPECT_EQ(value, "ok");
+}
+
+TEST_F(CacheTest, LruEvictionRespectsSizeCapAndRecency)
+{
+    const std::string payload(4096, 'x');
+    // Cap at roughly four entries' worth of payload.
+    cache::ResultCache cache(config(4 * 5000));
+    for (int i = 0; i < 12; ++i) {
+        ASSERT_TRUE(cache.store("c-entry" + std::to_string(i), payload));
+        // Distinct mtimes so LRU ordering is well defined even on
+        // coarse-grained filesystem timestamps.
+        std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+    EXPECT_LE(cache.diskUsageBytes(), 4 * 5000);
+    EXPECT_GE(cache.stats().evicted, 1);
+    // The newest entry always survives; the oldest must be gone.
+    EXPECT_TRUE(cache.load("c-entry11").has_value());
+    EXPECT_FALSE(fs::exists(cache.entryPath("c-entry0")));
+}
+
+TEST_F(CacheTest, CompileThroughCacheReplaysIdenticalResult)
+{
+    Circuit logical(3);
+    logical.append(Gate(GateKind::U3, 0, 0.3, 0.1, -0.4));
+    logical.append(Gate(GateKind::CZ, 0, 1));
+    logical.append(Gate(GateKind::U3, 2, -1.0, 0.2, 0.7));
+    logical.append(Gate(GateKind::CZ, 1, 2));
+
+    cache::ResultCache cache(config());
+    PipelineOptions options;
+    options.cache = &cache;
+
+    const CompileResult cold =
+        compile(Technique::Baseline, logical, options);
+    EXPECT_EQ(cache.stats().hits, 0);
+    const CompileResult warm =
+        compile(Technique::Baseline, logical, options);
+    EXPECT_GE(cache.stats().hits, 1);
+
+    EXPECT_EQ(circuitToText(warm.physical), circuitToText(cold.physical));
+    EXPECT_EQ(warm.technique, cold.technique);
+    EXPECT_EQ(warm.swapsInserted, cold.swapsInserted);
+    EXPECT_EQ(warm.finalLayout, cold.finalLayout);
+    EXPECT_EQ(warm.initialLayout, cold.initialLayout);
+    EXPECT_EQ(warm.stats.totalPulses, cold.stats.totalPulses);
+    EXPECT_EQ(warm.stats.depthPulses, cold.stats.depthPulses);
+}
+
+TEST_F(CacheTest, CompileKeySeparatesTechniquesAndCircuits)
+{
+    Circuit a(2);
+    a.append(Gate(GateKind::CZ, 0, 1));
+    Circuit b(2);
+    b.append(Gate(GateKind::CZ, 0, 1));
+    b.append(Gate(GateKind::U3, 0, 0.1, 0.2, 0.3));
+
+    PipelineOptions options;
+    const auto keyA =
+        cache::compileCacheKey(a, options, Technique::Baseline);
+    EXPECT_EQ(keyA, cache::compileCacheKey(a, options, Technique::Baseline));
+    EXPECT_NE(keyA, cache::compileCacheKey(a, options, Technique::OptiMap));
+    EXPECT_NE(keyA, cache::compileCacheKey(b, options, Technique::Baseline));
+    PipelineOptions other = options;
+    other.compose.maxLayers = 3;
+    EXPECT_NE(keyA, cache::compileCacheKey(a, other, Technique::Baseline));
+    // Observability/verification knobs do not change the output.
+    PipelineOptions traced = options;
+    traced.trace = true;
+    traced.parallelCompose = false;
+    EXPECT_EQ(keyA, cache::compileCacheKey(a, traced, Technique::Baseline));
+}
+
+TEST_F(CacheTest, CorruptCompileEntryRecompilesWithoutError)
+{
+    Circuit logical(2);
+    logical.append(Gate(GateKind::U3, 0, 0.5, 0.0, 0.0));
+    logical.append(Gate(GateKind::CZ, 0, 1));
+
+    cache::ResultCache cache(config());
+    PipelineOptions options;
+    options.cache = &cache;
+    const CompileResult cold =
+        compile(Technique::Baseline, logical, options);
+
+    // Truncate the stored entry mid-payload.
+    const std::string key =
+        cache::compileCacheKey(logical, options, Technique::Baseline);
+    const std::string path = cache.entryPath(key);
+    ASSERT_TRUE(fs::exists(path));
+    const auto framed = io::readFileBytes(path);
+    ASSERT_TRUE(framed.has_value());
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << framed->substr(0, framed->size() / 3);
+    }
+
+    const CompileResult recovered =
+        compile(Technique::Baseline, logical, options);
+    EXPECT_EQ(circuitToText(recovered.physical),
+              circuitToText(cold.physical));
+    EXPECT_EQ(cache.stats().corrupt, 1);
+    // And the recompute healed the entry: next compile is a clean hit.
+    const long corruptBefore = cache.stats().corrupt;
+    compile(Technique::Baseline, logical, options);
+    EXPECT_EQ(cache.stats().corrupt, corruptBefore);
+    EXPECT_GE(cache.stats().hits, 1);
+}
+
+TEST_F(CacheTest, ComposeResultTextRoundTrip)
+{
+    ComposeResult result;
+    result.circuit = Circuit(2);
+    result.circuit.append(Gate(GateKind::U3, 0, 0.25, -0.5, 1.0));
+    result.circuit.append(Gate(GateKind::CZ, 0, 1));
+    result.composed = true;
+    result.layersUsed = 2;
+    result.hsd = 3.5e-7;
+    result.evaluations = 1234;
+    result.pulsesSaved = 9;
+
+    const auto back = composeResultFromText(composeResultToText(result));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(circuitToText(back->circuit), circuitToText(result.circuit));
+    EXPECT_EQ(back->composed, result.composed);
+    EXPECT_EQ(back->layersUsed, result.layersUsed);
+    EXPECT_DOUBLE_EQ(back->hsd, result.hsd);
+    EXPECT_EQ(back->evaluations, result.evaluations);
+    EXPECT_EQ(back->pulsesSaved, result.pulsesSaved);
+    EXPECT_FALSE(composeResultFromText("garbage").has_value());
+}
+
+TEST_F(CacheTest, ComposeSpillWritesBlockEntries)
+{
+    cache::ResultCache cache(config());
+    ComposeOptions options;
+    options.spill = &cache;
+    // An entangler-free block composes exactly (no search), with angles
+    // unlikely to collide with any other test's memo entries.
+    Circuit block(1);
+    block.append(Gate(GateKind::U3, 0, 0.112233, -0.445566, 0.778899));
+    const ComposeResult composed = composeBlockCached(block, options);
+
+    size_t blockEntries = 0;
+    for (const auto &entry : fs::directory_iterator(dir_)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("b-", 0) == 0)
+            ++blockEntries;
+    }
+    EXPECT_EQ(blockEntries, 1u) << "composition must spill to the cache";
+
+    // The spilled payload replays to the same circuit.
+    bool checked = false;
+    for (const auto &entry : fs::directory_iterator(dir_)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("b-", 0) != 0)
+            continue;
+        const auto framed = io::readFileBytes(entry.path().string());
+        ASSERT_TRUE(framed.has_value());
+        const auto payload = io::unframeWithChecksum(*framed);
+        ASSERT_TRUE(payload.has_value());
+        const auto replayed = composeResultFromText(*payload);
+        ASSERT_TRUE(replayed.has_value());
+        EXPECT_EQ(circuitToText(replayed->circuit),
+                  circuitToText(composed.circuit));
+        checked = true;
+    }
+    EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace geyser

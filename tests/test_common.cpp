@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
+#include <stdexcept>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -117,6 +121,93 @@ TEST(ThreadPool, ReusableAcrossBatches)
         pool.parallelFor(10, [&counter](int) { ++counter; });
     }
     EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException)
+{
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    // Before the fix this std::terminate'd the process from workerLoop.
+    EXPECT_THROW(pool.parallelFor(20,
+                                  [&ran](int i) {
+                                      ++ran;
+                                      if (i == 7)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // The whole batch still drained (no task abandoned mid-queue).
+    EXPECT_EQ(ran.load(), 20);
+    // In-flight bookkeeping stayed exact: the pool is still usable and
+    // waitIdle() does not hang.
+    std::atomic<int> counter{0};
+    pool.parallelFor(10, [&counter](int) { ++counter; });
+    EXPECT_EQ(counter.load(), 10);
+    pool.waitIdle();
+}
+
+TEST(ThreadPool, SubmittedTaskExceptionIsSwallowedAndCounted)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("unobserved"); });
+    // Before the fix the skipped --inFlight_ made this hang forever.
+    pool.waitIdle();
+    EXPECT_EQ(pool.snapshot().exceptions, 1);
+    EXPECT_EQ(pool.snapshot().inFlight, 0);
+}
+
+TEST(ThreadPool, NestedParallelForOnSingleWorkerPoolRunsInline)
+{
+    ThreadPool pool(1);
+    std::atomic<int> counter{0};
+    // A task re-entering parallelFor on its own 1-worker pool used to
+    // deadlock: the inner batch could never be scheduled.
+    pool.parallelFor(4, [&](int) {
+        pool.parallelFor(4, [&](int) { ++counter; });
+    });
+    EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(2,
+                                  [&](int) {
+                                      pool.parallelFor(2, [](int j) {
+                                          if (j == 1)
+                                              throw std::runtime_error("in");
+                                      });
+                                  }),
+                 std::runtime_error);
+    pool.waitIdle();  // Bookkeeping still exact.
+}
+
+TEST(ThreadPool, ConcurrentBatchesCompleteIndependently)
+{
+    ThreadPool pool(2);
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    std::atomic<bool> slowStarted{false};
+
+    // One caller's batch parks a task on the gate...
+    std::thread slowCaller([&] {
+        pool.parallelFor(1, [&](int) {
+            slowStarted = true;
+            gate.wait();
+        });
+    });
+    while (!slowStarted)
+        std::this_thread::yield();
+
+    // ...and a second caller's batch must still complete: with the old
+    // global waitIdle() it would block on the parked task and deadlock,
+    // since the gate is only released afterwards.
+    std::atomic<int> counter{0};
+    pool.parallelFor(8, [&counter](int) { ++counter; });
+    EXPECT_EQ(counter.load(), 8);
+
+    release.set_value();
+    slowCaller.join();
+    pool.waitIdle();
 }
 
 }  // namespace

@@ -24,8 +24,14 @@
  *   --trace <file>         write a Chrome trace_event JSON of the run
  *                          (open in chrome://tracing or ui.perfetto.dev)
  *   --metrics <file>       write the JSONL span/metric log of the run
+ *   --cache-dir <dir>      serve/store compiles through the persistent
+ *                          result cache rooted at <dir> (crash-safe,
+ *                          checksummed; corrupt entries recompute).
+ *                          Defaults to $GEYSER_CACHE_DIR when that is set.
+ *   --no-cache             compile uncached even if GEYSER_CACHE_DIR is set
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,6 +39,7 @@
 #include <string>
 
 #include "algos/suite.hpp"
+#include "cache/result_cache.hpp"
 #include "circuit/draw.hpp"
 #include "geyser/pipeline.hpp"
 #include "io/qasm_parser.hpp"
@@ -57,7 +64,8 @@ usage(const char *argv0)
                  "  --output <file>   --format qasm|text\n"
                  "  --evaluate        --noise <rate>  --trajectories <n>\n"
                  "  --verify          --quiet\n"
-                 "  --trace <file>    --metrics <file>\n",
+                 "  --trace <file>    --metrics <file>\n"
+                 "  --cache-dir <dir> --no-cache\n",
                  argv0, argv0);
     std::exit(2);
 }
@@ -120,10 +128,10 @@ int
 main(int argc, char **argv)
 {
     std::string input, benchmark, output, format = "qasm";
-    std::string tracePath, metricsPath;
+    std::string tracePath, metricsPath, cacheDir;
     Technique technique = Technique::Geyser;
     bool evaluate = false, quiet = false, draw = false, pulses = false;
-    bool verifyMode = false;
+    bool verifyMode = false, noCache = false;
     double noiseRate = 0.001;
     int trajectories = 200;
 
@@ -161,6 +169,10 @@ main(int argc, char **argv)
                 tracePath = next();
             else if (arg == "--metrics")
                 metricsPath = next();
+            else if (arg == "--cache-dir")
+                cacheDir = next();
+            else if (arg == "--no-cache")
+                noCache = true;
             else if (arg == "--help" || arg == "-h")
                 usage(argv[0]);
             else if (!arg.empty() && arg[0] == '-')
@@ -212,7 +224,23 @@ main(int argc, char **argv)
             return rc;
         }
 
-        const CompileResult result = compile(technique, logical);
+        // Persistent result cache: --cache-dir wins, else GEYSER_CACHE_DIR
+        // from the environment; --no-cache (or GEYSER_NO_CACHE=1) compiles
+        // uncached. Library/CLI users get the same crash-safe cache the
+        // bench binaries use.
+        cache::CacheConfig cacheConfig = cache::CacheConfig::fromEnv();
+        if (!cacheDir.empty())
+            cacheConfig.dir = cacheDir;
+        else if (std::getenv("GEYSER_CACHE_DIR") == nullptr)
+            cacheConfig.enabled = false;  // No cache unless asked for one.
+        if (noCache)
+            cacheConfig.enabled = false;
+        cache::ResultCache resultCache(cacheConfig);
+
+        PipelineOptions options;
+        if (resultCache.enabled())
+            options.cache = &resultCache;
+        const CompileResult result = compile(technique, logical, options);
 
         const std::string compiled = format == "qasm"
                                          ? circuitToQasm(result.physical)
