@@ -130,6 +130,14 @@ ResultCache::quarantine(const std::string &path)
     obs::counter("cache.corrupt").add();
 }
 
+void
+ResultCache::quarantineEntry(const std::string &key)
+{
+    if (!enabled_)
+        return;
+    quarantine(entryPath(key));
+}
+
 std::optional<std::string>
 ResultCache::load(const std::string &key)
 {

@@ -135,6 +135,15 @@ class ResultCache
     /** On-disk path of a key's entry file. */
     std::string entryPath(const std::string &key) const;
 
+    /**
+     * Quarantine a key's entry whose payload passed the frame checksum
+     * but failed semantic validation downstream (deserialize error,
+     * invalid circuit or layout). Moves it to <entry>.corrupt exactly
+     * like a framing failure, so the next lookup recomputes instead of
+     * replaying the same poisoned payload forever.
+     */
+    void quarantineEntry(const std::string &key);
+
     /** Total bytes currently held in entry files (scans the directory). */
     long long diskUsageBytes() const;
 

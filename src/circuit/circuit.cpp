@@ -1,6 +1,9 @@
 #include "circuit/circuit.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "common/error.hpp"
 
 namespace geyser {
 
@@ -133,6 +136,50 @@ Circuit::inverted() const
     for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
         out.append(it->inverse());
     return out;
+}
+
+std::optional<std::string>
+Circuit::validationError() const
+{
+    if (numQubits_ < 0)
+        return "negative qubit count " + std::to_string(numQubits_);
+    if (numQubits_ > kMaxCircuitQubits)
+        return "qubit count " + std::to_string(numQubits_) +
+               " exceeds limit " + std::to_string(kMaxCircuitQubits);
+    for (size_t i = 0; i < gates_.size(); ++i) {
+        const Gate &g = gates_[i];
+        const auto at = [&](const std::string &why) {
+            return "gate " + std::to_string(i) + " (" +
+                   gateKindName(g.kind()) + "): " + why;
+        };
+        if (g.numQubits() != gateKindArity(g.kind()))
+            return at("operand count " + std::to_string(g.numQubits()) +
+                      " != arity " +
+                      std::to_string(gateKindArity(g.kind())));
+        for (int k = 0; k < g.numQubits(); ++k) {
+            const Qubit q = g.qubit(k);
+            if (q < 0 || q >= numQubits_)
+                return at("operand qubit " + std::to_string(q) +
+                          " out of range [0, " +
+                          std::to_string(numQubits_) + ")");
+            for (int j = 0; j < k; ++j)
+                if (g.qubit(j) == q)
+                    return at("duplicate operand qubit " +
+                              std::to_string(q));
+        }
+        for (int p = 0; p < g.numParams(); ++p)
+            if (!std::isfinite(g.param(p)))
+                return at("non-finite parameter " + std::to_string(p));
+    }
+    return std::nullopt;
+}
+
+void
+Circuit::validate(const std::string &source) const
+{
+    if (const auto why = validationError())
+        throw ValidationError(SourceContext{source, 0, -1},
+                              "invalid circuit: " + *why);
 }
 
 std::string

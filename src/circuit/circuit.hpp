@@ -7,6 +7,7 @@
 #define GEYSER_CIRCUIT_CIRCUIT_HPP
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,14 @@
 #include "common/types.hpp"
 
 namespace geyser {
+
+/**
+ * Hard ceiling on the circuit width accepted at input boundaries.
+ * Far above any realistic neutral-atom array; exists so a hostile
+ * `qreg q[2000000000]` cannot drive downstream per-qubit allocations
+ * (qubitOpLists, topologies) into resource exhaustion.
+ */
+inline constexpr int kMaxCircuitQubits = 1 << 20;
 
 /**
  * An ordered list of gates over numQubits() qubits. Gate order is program
@@ -94,6 +103,24 @@ class Circuit
 
     /** The inverse circuit: gates reversed and individually inverted. */
     Circuit inverted() const;
+
+    /**
+     * First broken structural invariant, or nullopt if the circuit is
+     * well-formed: qubit count in [0, kMaxCircuitQubits]; every gate's
+     * operand count matching its kind's arity; every operand in
+     * [0, numQubits()); operands pairwise distinct; every declared
+     * parameter finite. Never throws — usable from noexcept paths.
+     */
+    std::optional<std::string> validationError() const;
+
+    /**
+     * Throw ValidationError unless validationError() is empty. Called
+     * after every untrusted-boundary crossing (QASM parse, text
+     * deserialize, cache-entry load) so no invalid circuit can reach
+     * the transpiler or the simulators. `source` tags the diagnostic
+     * ("qasm", "circuit-text", a file path); empty means unattributed.
+     */
+    void validate(const std::string &source = {}) const;
 
     /** One gate per line. */
     std::string toString() const;

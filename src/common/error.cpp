@@ -1,0 +1,39 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace geyser {
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Parse:
+        return "parse error";
+      case ErrorKind::Validation:
+        return "validation error";
+      case ErrorKind::Io:
+        return "io error";
+      case ErrorKind::Internal:
+        return "internal error";
+    }
+    return "error";
+}
+
+std::string
+formatWithContext(const SourceContext &context, const std::string &message)
+{
+    if (!context.known())
+        return message;
+    std::ostringstream out;
+    if (!context.source.empty())
+        out << context.source;
+    if (context.line > 0)
+        out << ":" << context.line;
+    else if (context.offset >= 0)
+        out << "@" << context.offset;
+    out << ": " << message;
+    return out.str();
+}
+
+}  // namespace geyser

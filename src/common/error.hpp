@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The error taxonomy for the untrusted-input boundary.
+ *
+ * Everything that crosses into the library from outside — QASM text,
+ * native circuit text, cache entries, files — is parsed and validated
+ * behind exceptions from this small hierarchy, so callers (the CLI, a
+ * service frontend, the fuzzers) can tell *what class of thing* went
+ * wrong and *where* without string-matching messages:
+ *
+ *  - ParseError       malformed input text (bad syntax, bad number,
+ *                     unknown mnemonic). Carries source/line/offset.
+ *  - ValidationError  well-formed input describing an invalid circuit
+ *                     or result (operand out of range, duplicate
+ *                     operands, non-finite angle, bad layout).
+ *  - IoError          the environment failed us (cannot open/write a
+ *                     file). Carries the path as source context.
+ *  - InternalError    a "can't happen" invariant broke — always a bug
+ *                     in this library, never the input's fault.
+ *
+ * ParseError and ValidationError derive from std::invalid_argument,
+ * IoError from std::runtime_error, and InternalError from
+ * std::logic_error, so pre-taxonomy call sites (and tests) that catch
+ * the standard types keep working. All four additionally derive from
+ * the geyser::Error interface: `catch (const geyser::Error &e)` is the
+ * one handler an input boundary needs, and `e.kind()` / `e.where()`
+ * give the class and location without parsing e.what().
+ */
+#ifndef GEYSER_COMMON_ERROR_HPP
+#define GEYSER_COMMON_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace geyser {
+
+/** Coarse class of a boundary error; see the file comment. */
+enum class ErrorKind { Parse, Validation, Io, Internal };
+
+/** Human-readable name of a kind ("parse error", ...). */
+const char *errorKindName(ErrorKind kind);
+
+/**
+ * Where in the input an error was detected. `source` names the stream
+ * ("qasm", "circuit-text", "expr", a file path); `line` is 1-based
+ * (0 = unknown); `offset` is a 0-based byte offset (-1 = unknown).
+ */
+struct SourceContext
+{
+    std::string source;
+    int line = 0;
+    long long offset = -1;
+
+    bool known() const { return !source.empty() || line > 0 || offset >= 0; }
+};
+
+/**
+ * Render "source:line: message" / "source@offset: message" /
+ * "message", matching the `qasm:<line>:` diagnostic convention.
+ */
+std::string formatWithContext(const SourceContext &context,
+                              const std::string &message);
+
+/**
+ * Mixin interface implemented by every taxonomy error. Not an
+ * exception type itself; each concrete error also derives from the
+ * matching <stdexcept> class.
+ */
+class Error
+{
+  public:
+    virtual ~Error() = default;
+    virtual ErrorKind kind() const noexcept = 0;
+    virtual const char *what() const noexcept = 0;
+    const SourceContext &where() const noexcept { return context_; }
+
+  protected:
+    Error() = default;
+    explicit Error(SourceContext context) : context_(std::move(context)) {}
+
+    SourceContext context_;
+};
+
+/** Malformed input text. */
+class ParseError : public std::invalid_argument, public Error
+{
+  public:
+    explicit ParseError(const std::string &message)
+        : std::invalid_argument(message) {}
+    ParseError(SourceContext context, const std::string &message)
+        : std::invalid_argument(formatWithContext(context, message)),
+          Error(std::move(context)) {}
+
+    ErrorKind kind() const noexcept override { return ErrorKind::Parse; }
+    const char *what() const noexcept override
+    {
+        return std::invalid_argument::what();
+    }
+};
+
+/** Well-formed input describing an invalid circuit or result. */
+class ValidationError : public std::invalid_argument, public Error
+{
+  public:
+    explicit ValidationError(const std::string &message)
+        : std::invalid_argument(message) {}
+    ValidationError(SourceContext context, const std::string &message)
+        : std::invalid_argument(formatWithContext(context, message)),
+          Error(std::move(context)) {}
+
+    ErrorKind kind() const noexcept override { return ErrorKind::Validation; }
+    const char *what() const noexcept override
+    {
+        return std::invalid_argument::what();
+    }
+};
+
+/** Environment/filesystem failure; `source` context is the path. */
+class IoError : public std::runtime_error, public Error
+{
+  public:
+    explicit IoError(const std::string &message)
+        : std::runtime_error(message) {}
+    IoError(SourceContext context, const std::string &message)
+        : std::runtime_error(formatWithContext(context, message)),
+          Error(std::move(context)) {}
+
+    ErrorKind kind() const noexcept override { return ErrorKind::Io; }
+    const char *what() const noexcept override
+    {
+        return std::runtime_error::what();
+    }
+};
+
+/** Broken internal invariant — a bug in this library. */
+class InternalError : public std::logic_error, public Error
+{
+  public:
+    explicit InternalError(const std::string &message)
+        : std::logic_error(message) {}
+    InternalError(SourceContext context, const std::string &message)
+        : std::logic_error(formatWithContext(context, message)),
+          Error(std::move(context)) {}
+
+    ErrorKind kind() const noexcept override { return ErrorKind::Internal; }
+    const char *what() const noexcept override
+    {
+        return std::logic_error::what();
+    }
+};
+
+}  // namespace geyser
+
+#endif  // GEYSER_COMMON_ERROR_HPP

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "cache/result_cache.hpp"
+#include "common/error.hpp"
 #include "circuit/schedule.hpp"
 #include "common/thread_pool.hpp"
 #include "io/serialize.hpp"
@@ -89,6 +90,11 @@ CompileResult
 mapCircuit(Technique technique, const Circuit &logical, const Topology &topo,
            bool optimized, const PipelineOptions &options)
 {
+    // Every compile entry point funnels through here: reject invalid
+    // circuits (out-of-range operands, duplicates, non-finite angles)
+    // before they can reach the transpiler or the simulators.
+    logical.validate();
+
     CompileResult result;
     result.technique = technique;
     result.logical = logical;
@@ -352,7 +358,7 @@ compileUncached(Technique technique, const Circuit &logical,
       case Technique::Superconducting:
         return compileSuperconducting(logical, options);
     }
-    throw std::invalid_argument("compile: unknown technique");
+    throw InternalError("compile: unknown technique");
 }
 
 }  // namespace
@@ -380,9 +386,13 @@ compile(Technique technique, const Circuit &logical,
         return std::move(*computed);
     if (auto replayed = compileResultFromText(payload, logical))
         return std::move(*replayed);
-    // A payload that passed the checksum but fails to parse means the
-    // serializer and parser disagree (a bug, not disk corruption);
-    // degrade to an uncached compile rather than erroring out.
+    // A payload that passed the checksum but fails to parse or
+    // validate means the serializer and parser disagree, or the entry
+    // was written by a skewed build. Quarantine it so the next run
+    // recomputes a good entry instead of replaying the poisoned one
+    // forever, and degrade to an uncached compile.
+    obs::counter("cache.invalid_payload").add();
+    cache->quarantineEntry(key);
     return compileUncached(technique, logical, options);
 }
 
@@ -391,8 +401,19 @@ projectToLogical(const Distribution &physical,
                  const std::vector<Qubit> &final_layout, int num_logical,
                  int num_atoms)
 {
+    if (num_atoms < 0 || num_atoms >= 63 || num_logical < 0 ||
+        num_logical > num_atoms)
+        throw ValidationError("projectToLogical: bad qubit counts");
     if (physical.size() != (size_t{1} << num_atoms))
-        throw std::invalid_argument("projectToLogical: size mismatch");
+        throw ValidationError("projectToLogical: size mismatch");
+    if (final_layout.size() < static_cast<size_t>(num_logical))
+        throw ValidationError("projectToLogical: layout too short");
+    for (int q = 0; q < num_logical; ++q) {
+        const Qubit atom = final_layout[static_cast<size_t>(q)];
+        if (atom < 0 || atom >= num_atoms)
+            throw ValidationError(
+                "projectToLogical: layout atom out of range");
+    }
     Distribution logical(size_t{1} << num_logical, 0.0);
     for (size_t y = 0; y < physical.size(); ++y) {
         if (physical[y] == 0.0)

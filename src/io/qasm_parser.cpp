@@ -1,19 +1,25 @@
 #include "io/qasm_parser.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <map>
 #include <sstream>
-#include <stdexcept>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace geyser {
 
 namespace {
 
-/** Recursive-descent evaluator for constant angle expressions. */
+/**
+ * Recursive-descent evaluator for constant angle expressions. All
+ * diagnostics are ParseErrors carrying the byte offset of the problem;
+ * results are guaranteed finite (division by zero and overflow are
+ * rejected, not propagated as inf/NaN into gate angles).
+ */
 class ExprParser
 {
   public:
@@ -24,11 +30,19 @@ class ExprParser
         const double v = parseSum();
         skipSpace();
         if (pos_ != text_.size())
-            throw std::invalid_argument("trailing characters in expression");
+            fail("trailing characters in expression");
+        if (!std::isfinite(v))
+            fail("non-finite value in expression");
         return v;
     }
 
   private:
+    [[noreturn]] void fail(const std::string &message) const
+    {
+        throw ParseError(
+            SourceContext{"expr", 0, static_cast<long long>(pos_)}, message);
+    }
+
     void skipSpace()
     {
         while (pos_ < text_.size() && std::isspace(
@@ -46,8 +60,26 @@ class ExprParser
         return false;
     }
 
+    /**
+     * Bounded recursion: parenthesis groups and unary signs both
+     * recurse, so a hostile "((((..." or "----..." would otherwise
+     * walk the machine stack into a crash.
+     */
+    struct DepthGuard
+    {
+        explicit DepthGuard(const ExprParser &p_) : p(p_)
+        {
+            if (++p.depth_ > kMaxDepth)
+                p.fail("expression nested deeper than " +
+                       std::to_string(kMaxDepth) + " levels");
+        }
+        ~DepthGuard() { --p.depth_; }
+        const ExprParser &p;
+    };
+
     double parseSum()
     {
+        const DepthGuard guard(*this);
         double v = parseProduct();
         for (;;) {
             if (eat('+'))
@@ -63,17 +95,22 @@ class ExprParser
     {
         double v = parseUnary();
         for (;;) {
-            if (eat('*'))
+            if (eat('*')) {
                 v *= parseUnary();
-            else if (eat('/'))
-                v /= parseUnary();
-            else
+            } else if (eat('/')) {
+                const double divisor = parseUnary();
+                if (divisor == 0.0)
+                    fail("division by zero in expression");
+                v /= divisor;
+            } else {
                 return v;
+            }
         }
     }
 
     double parseUnary()
     {
+        const DepthGuard guard(*this);
         if (eat('-'))
             return -parseUnary();
         if (eat('+'))
@@ -87,7 +124,7 @@ class ExprParser
         if (eat('(')) {
             const double v = parseSum();
             if (!eat(')'))
-                throw std::invalid_argument("missing ')' in expression");
+                fail("missing ')' in expression");
             return v;
         }
         if (pos_ + 1 < text_.size() && text_.compare(pos_, 2, "pi") == 0) {
@@ -103,19 +140,22 @@ class ExprParser
                  (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))))
             ++pos_;
         if (pos_ == start)
-            throw std::invalid_argument("expected number in expression");
-        return std::stod(text_.substr(start, pos_ - start));
+            fail("expected number in expression");
+        try {
+            return std::stod(text_.substr(start, pos_ - start));
+        } catch (const std::out_of_range &) {
+            fail("number literal out of double range");
+        } catch (const std::invalid_argument &) {
+            fail("malformed number literal");
+        }
     }
+
+    static constexpr int kMaxDepth = 64;
 
     const std::string &text_;
     size_t pos_ = 0;
+    mutable int depth_ = 0;
 };
-
-double
-evalExpr(const std::string &text)
-{
-    return ExprParser(text).parse();
-}
 
 /** Strip comments and split a QASM program into ';'-terminated statements. */
 std::vector<std::pair<int, std::string>>
@@ -169,12 +209,48 @@ splitStatements(const std::string &text)
 [[noreturn]] void
 fail(int line, const std::string &message)
 {
-    std::ostringstream out;
-    out << "qasm:" << line << ": " << message;
-    throw std::invalid_argument(out.str());
+    throw ParseError(SourceContext{"qasm", line, -1}, message);
+}
+
+std::string
+trimmed(const std::string &text)
+{
+    size_t b = 0, e = text.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])))
+        --e;
+    return text.substr(b, e - b);
+}
+
+/**
+ * Parse a bracketed integer (register size / operand index) strictly:
+ * the whole token must be consumed, and std::from_chars never throws,
+ * so a malformed "q[xyz]" or an overflowing "q[99999999999]" becomes a
+ * line-numbered diagnostic instead of a raw std::stoi exception.
+ */
+long long
+parseQasmInt(int line, const std::string &text, const std::string &what)
+{
+    const std::string t = trimmed(text);
+    long long value = 0;
+    const char *first = t.data();
+    const char *last = t.data() + t.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec == std::errc::result_out_of_range)
+        fail(line, what + " out of range: '" + t + "'");
+    if (ec != std::errc() || ptr != last || t.empty())
+        fail(line, "malformed " + what + ": '" + t + "'");
+    return value;
 }
 
 }  // namespace
+
+double
+evalAngleExpr(const std::string &text)
+{
+    return ExprParser(text).parse();
+}
 
 Circuit
 circuitFromQasm(const std::string &text)
@@ -203,16 +279,24 @@ circuitFromQasm(const std::string &text)
             std::getline(in, decl);
             const size_t lb = decl.find('[');
             const size_t rb = decl.find(']');
-            if (lb == std::string::npos || rb == std::string::npos)
+            if (lb == std::string::npos || rb == std::string::npos ||
+                rb < lb)
                 fail(line, "malformed qreg");
-            std::string name = decl.substr(0, lb);
-            while (!name.empty() && name.front() == ' ')
-                name.erase(name.begin());
+            if (!trimmed(decl.substr(rb + 1)).empty())
+                fail(line, "trailing characters after qreg declaration");
+            const std::string name = trimmed(decl.substr(0, lb));
+            if (name.empty())
+                fail(line, "malformed qreg: missing register name");
             if (!qreg.empty())
                 fail(line, "multiple quantum registers are not supported");
+            const long long size = parseQasmInt(
+                line, decl.substr(lb + 1, rb - lb - 1), "register size");
+            if (size < 1 || size > kMaxCircuitQubits)
+                fail(line, "register size " + std::to_string(size) +
+                               " out of range [1, " +
+                               std::to_string(kMaxCircuitQubits) + "]");
             qreg = name;
-            circuit.setNumQubits(
-                std::stoi(decl.substr(lb + 1, rb - lb - 1)));
+            circuit.setNumQubits(static_cast<int>(size));
             continue;
         }
 
@@ -262,28 +346,56 @@ circuitFromQasm(const std::string &text)
             fail(line, "unsupported gate: " + name);
         }
 
-        // Parse parameters.
+        // Parse parameters; every value must be finite (evalAngleExpr
+        // rejects division by zero and overflow, so no inf/NaN angle
+        // can poison ZYZ resynthesis downstream).
         std::vector<double> values;
         if (!params.empty()) {
             std::string token;
             std::istringstream ps(params);
-            while (std::getline(ps, token, ','))
-                values.push_back(evalExpr(token));
+            while (std::getline(ps, token, ',')) {
+                try {
+                    values.push_back(evalAngleExpr(token));
+                } catch (const ParseError &e) {
+                    fail(line, std::string("bad parameter expression: ") +
+                                   e.what());
+                }
+            }
         }
         if (static_cast<int>(values.size()) != gateKindParamCount(kind))
             fail(line, "wrong parameter count for " + name);
 
-        // Parse operands q[i].
+        // Parse operands name[i]: the register must be the declared
+        // one, indices must be in range, and operands must be
+        // pairwise distinct.
         std::vector<Qubit> qubits;
         std::string token;
         std::istringstream qs(rest);
         while (std::getline(qs, token, ',')) {
             const size_t lb = token.find('[');
             const size_t rb = token.find(']');
-            if (lb == std::string::npos || rb == std::string::npos)
-                fail(line, "malformed operand: " + token);
-            qubits.push_back(
-                std::stoi(token.substr(lb + 1, rb - lb - 1)));
+            if (lb == std::string::npos || rb == std::string::npos ||
+                rb < lb)
+                fail(line, "malformed operand: " + trimmed(token));
+            if (!trimmed(token.substr(rb + 1)).empty())
+                fail(line, "trailing characters after operand: " +
+                               trimmed(token));
+            const std::string reg = trimmed(token.substr(0, lb));
+            if (reg != qreg)
+                fail(line, "unknown register '" + reg + "' (declared: '" +
+                               qreg + "')");
+            const long long index = parseQasmInt(
+                line, token.substr(lb + 1, rb - lb - 1), "operand index");
+            if (index < 0 || index >= circuit.numQubits())
+                fail(line, "operand index " + std::to_string(index) +
+                               " out of range for qreg " + qreg + "[" +
+                               std::to_string(circuit.numQubits()) + "]");
+            const Qubit q = static_cast<Qubit>(index);
+            for (const Qubit seen : qubits)
+                if (seen == q)
+                    fail(line, "duplicate operand " + qreg + "[" +
+                                   std::to_string(index) + "]");
+            qubits.push_back(q);
         }
         if (static_cast<int>(qubits.size()) != gateKindArity(kind))
             fail(line, "wrong operand count for " + name);
@@ -305,9 +417,15 @@ circuitFromQasm(const std::string &text)
         }
     }
     if (!sawHeader)
-        throw std::invalid_argument("qasm: missing OPENQASM header");
+        throw ParseError(SourceContext{"qasm", 0, -1},
+                         "missing OPENQASM header");
     if (qreg.empty())
-        throw std::invalid_argument("qasm: missing qreg declaration");
+        throw ParseError(SourceContext{"qasm", 0, -1},
+                         "missing qreg declaration");
+    // Boundary contract: a successful parse always yields a valid
+    // circuit (the checks above make this unreachable; validate()
+    // keeps the guarantee honest if the parser grows).
+    circuit.validate("qasm");
     return circuit;
 }
 

@@ -5,6 +5,12 @@
  * this IR supports, and constant-expression parameters (numbers, pi,
  * + - * /, unary minus, parentheses).
  *
+ * This is an untrusted-input boundary: every diagnostic is a
+ * ParseError carrying `qasm:<line>:` context, operand indices are
+ * bounds-checked against the declared register at parse time, angle
+ * expressions must evaluate to finite values, and the returned circuit
+ * satisfies Circuit::validate() by construction.
+ *
  * Together with circuitToQasm() this closes the interop loop: external
  * circuits can be compiled by the `geyserc` tool and results re-exported.
  */
@@ -18,12 +24,21 @@
 namespace geyser {
 
 /**
- * Parse an OpenQASM 2.0 program into a Circuit. Throws
- * std::invalid_argument with a line-numbered message on unsupported or
- * malformed input. `creg` declarations, `measure`, and `barrier` are
- * accepted and ignored (this IR measures everything at the end).
+ * Parse an OpenQASM 2.0 program into a Circuit. Throws ParseError
+ * (with a `qasm:<line>:` prefixed message) on unsupported or malformed
+ * input. `creg` declarations, `measure`, and `barrier` are accepted
+ * and ignored (this IR measures everything at the end).
  */
 Circuit circuitFromQasm(const std::string &text);
+
+/**
+ * Evaluate a constant angle expression (numbers, pi, + - * /, unary
+ * signs, parentheses). Throws ParseError with an `expr@<offset>:`
+ * byte-offset context on malformed input, division by zero, numeric
+ * literals out of double range, nesting deeper than 64 levels, or any
+ * non-finite result. A normal return is always finite.
+ */
+double evalAngleExpr(const std::string &text);
 
 }  // namespace geyser
 

@@ -1,11 +1,12 @@
 #include "io/serialize.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
 #include "circuit/schedule.hpp"
+#include "common/error.hpp"
 
 namespace geyser {
 
@@ -28,7 +29,49 @@ techniqueFromName(const std::string &name)
         if (name == techniqueName(t))
             return t;
     }
-    throw std::invalid_argument("unknown technique: " + name);
+    throw ParseError(SourceContext{"cache-entry", 0, -1},
+                     "unknown technique: " + name);
+}
+
+/** Byte offset of the last successfully consumed stream position. */
+long long
+offsetOf(std::istream &in)
+{
+    // tellg() refuses to answer on a failed/eof stream, but diagnostics
+    // are raised exactly when extraction has just failed — clear the
+    // state so the failure point's offset is still reported.
+    in.clear();
+    const auto pos = in.tellg();
+    return pos < 0 ? -1 : static_cast<long long>(pos);
+}
+
+[[noreturn]] void
+failText(std::istream &in, const std::string &message)
+{
+    throw ParseError(SourceContext{"circuit-text", 0, offsetOf(in)}, message);
+}
+
+/**
+ * Layouts loaded from a cache entry are untrusted: a corrupt or
+ * hand-edited entry with an out-of-range atom index would otherwise
+ * flow into projectToLogical's bit shifts as undefined behavior.
+ * Returns false unless `layout` is an injective map of every logical
+ * qubit onto the physical atoms.
+ */
+bool
+layoutIsValid(const std::vector<Qubit> &layout, int num_logical,
+              int num_atoms)
+{
+    if (layout.size() != static_cast<size_t>(num_logical))
+        return false;
+    std::vector<bool> used(static_cast<size_t>(num_atoms), false);
+    for (const Qubit atom : layout) {
+        if (atom < 0 || atom >= num_atoms ||
+            used[static_cast<size_t>(atom)])
+            return false;
+        used[static_cast<size_t>(atom)] = true;
+    }
+    return true;
 }
 
 }  // namespace
@@ -56,20 +99,43 @@ circuitFromText(const std::string &text)
     std::string tok;
     int n = 0;
     if (!(in >> tok) || tok != "qubits" || !(in >> n))
-        throw std::invalid_argument("circuitFromText: missing qubits header");
+        throw ParseError(SourceContext{"circuit-text", 0, 0},
+                         "missing qubits header");
+    if (n < 0 || n > kMaxCircuitQubits)
+        failText(in, "qubit count " + std::to_string(n) +
+                         " out of range [0, " +
+                         std::to_string(kMaxCircuitQubits) + "]");
     Circuit c(n);
     while (in >> tok) {
-        const GateKind kind = gateKindFromName(tok);
+        GateKind kind;
+        try {
+            kind = gateKindFromName(tok);
+        } catch (const std::exception &) {
+            failText(in, "unknown gate mnemonic: " + tok);
+        }
         const int np = gateKindParamCount(kind);
         const int nq = gateKindArity(kind);
         double params[3] = {0, 0, 0};
         Qubit qubits[3] = {0, 0, 0};
-        for (int i = 0; i < np; ++i)
+        for (int i = 0; i < np; ++i) {
             if (!(in >> params[i]))
-                throw std::invalid_argument("circuitFromText: bad params");
-        for (int i = 0; i < nq; ++i)
+                failText(in, "bad parameter value for " + tok);
+            if (!std::isfinite(params[i]))
+                failText(in, "non-finite parameter for " + tok);
+        }
+        for (int i = 0; i < nq; ++i) {
             if (!(in >> qubits[i]))
-                throw std::invalid_argument("circuitFromText: bad qubits");
+                failText(in, "bad qubit operand for " + tok);
+            if (qubits[i] < 0 || qubits[i] >= n)
+                failText(in, "operand qubit " + std::to_string(qubits[i]) +
+                                 " out of range [0, " + std::to_string(n) +
+                                 ") for " + tok);
+            for (int j = 0; j < i; ++j)
+                if (qubits[j] == qubits[i])
+                    failText(in, "duplicate operand qubit " +
+                                     std::to_string(qubits[i]) + " for " +
+                                     tok);
+        }
         switch (nq) {
           case 1:
             c.append(Gate(kind, qubits[0], params[0], params[1], params[2]));
@@ -82,6 +148,8 @@ circuitFromText(const std::string &text)
             break;
         }
     }
+    // Boundary contract: deserialized circuits are always valid.
+    c.validate("circuit-text");
     return c;
 }
 
@@ -159,7 +227,8 @@ saveCompileResult(const std::string &path, const CompileResult &result)
 {
     std::ofstream out(path);
     if (!out)
-        throw std::runtime_error("saveCompileResult: cannot open " + path);
+        throw IoError(SourceContext{path, 0, -1},
+                      "saveCompileResult: cannot open for writing");
     out << compileResultToText(result);
 }
 
@@ -206,7 +275,11 @@ compileResultFromText(const std::string &text, const Circuit &logical)
             } else {
                 return std::nullopt;
             }
+            if (!in)
+                return std::nullopt;  // Malformed value for this key.
         }
+        if (key != "endheader")
+            return std::nullopt;  // Truncated before the circuit body.
         std::ostringstream rest;
         rest << in.rdbuf();
         result.physical = circuitFromText(rest.str());
@@ -214,16 +287,41 @@ compileResultFromText(const std::string &text, const Circuit &logical)
         return std::nullopt;
     }
 
-    result.topology =
-        result.technique == Technique::Superconducting
-            ? Topology::squareForQubits(logical.numQubits())
-            : Topology::forQubits(logical.numQubits());
-    result.stats = circuitStats(result.physical);
-    if (result.technique == Technique::Superconducting)
-        result.stats.depthPulses = depthPulses(result.physical);
-    else
-        result.stats.depthPulses =
-            depthPulses(result.physical, result.topology);
+    // Semantic validation: the entry passed the frame checksum, but the
+    // payload is still untrusted (version skew, hand edits, serializer
+    // bugs). Anything inconsistent is a miss, never a crash.
+    if (result.swapsInserted < 0 || result.blockCount < 0 ||
+        result.composedBlockCount < 0 || result.compositionEvaluations < 0)
+        return std::nullopt;
+    if (result.physical.numQubits() < logical.numQubits())
+        return std::nullopt;
+    if (!layoutIsValid(result.finalLayout, logical.numQubits(),
+                       result.physical.numQubits()) ||
+        !layoutIsValid(result.initialLayout, logical.numQubits(),
+                       result.physical.numQubits()))
+        return std::nullopt;
+
+    // Derived fields can still reject the payload: a 0-qubit logical
+    // circuit has no topology, and a body holding gates outside the
+    // native set (e.g. a stray `cx`) throws from depthPulses. Found by
+    // fuzz_serialize (regressions/serialize/nonnative_gate_in_body);
+    // both were escapes from the nullopt contract.
+    try {
+        result.topology =
+            result.technique == Technique::Superconducting
+                ? Topology::squareForQubits(logical.numQubits())
+                : Topology::forQubits(logical.numQubits());
+        if (result.physical.numQubits() > result.topology.numAtoms())
+            return std::nullopt;  // Circuit does not fit the topology.
+        result.stats = circuitStats(result.physical);
+        if (result.technique == Technique::Superconducting)
+            result.stats.depthPulses = depthPulses(result.physical);
+        else
+            result.stats.depthPulses =
+                depthPulses(result.physical, result.topology);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
     return result;
 }
 
@@ -279,6 +377,8 @@ composeResultFromText(const std::string &text)
             } else {
                 return std::nullopt;
             }
+            if (!in)
+                return std::nullopt;
         }
         if (key != "endheader" || !in)
             return std::nullopt;
@@ -288,6 +388,8 @@ composeResultFromText(const std::string &text)
     } catch (const std::exception &) {
         return std::nullopt;
     }
+    if (result.layersUsed < 0 || result.evaluations < 0)
+        return std::nullopt;
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/error.hpp"
 #include "transpile/zyz.hpp"
 
 namespace geyser {
@@ -60,7 +61,7 @@ Gate
 u3FromGate(const Gate &gate)
 {
     if (gate.numQubits() != 1)
-        throw std::invalid_argument("u3FromGate: not a one-qubit gate");
+        throw ValidationError("u3FromGate: not a one-qubit gate");
     const U3Params p = u3FromMatrix(gate.matrix());
     return Gate(GateKind::U3, gate.qubit(0), p.theta, p.phi, p.lambda);
 }

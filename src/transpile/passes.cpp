@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/error.hpp"
 #include "obs/obs.hpp"
 #include "transpile/zyz.hpp"
 
@@ -30,7 +31,7 @@ bool
 fuseU3Pass(Circuit &circuit, bool drop_identity)
 {
     if (!circuit.isPhysical())
-        throw std::invalid_argument("fuseU3Pass: physical circuit required");
+        throw ValidationError("fuseU3Pass: physical circuit required");
 
     const size_t before = circuit.size();
     Circuit out(circuit.numQubits());

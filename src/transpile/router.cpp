@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/error.hpp"
 #include "obs/obs.hpp"
 #include "transpile/basis.hpp"
 
@@ -33,11 +34,11 @@ route(const Circuit &circuit, const Topology &topo,
       const std::vector<Qubit> &initial_layout)
 {
     if (!circuit.isPhysical())
-        throw std::invalid_argument("route: circuit must be in {U3, CZ} basis");
+        throw ValidationError("route: circuit must be in {U3, CZ} basis");
     if (circuit.numQubits() > topo.numAtoms())
-        throw std::invalid_argument("route: not enough atoms for circuit");
+        throw ValidationError("route: not enough atoms for circuit");
     if (initial_layout.size() != static_cast<size_t>(circuit.numQubits()))
-        throw std::invalid_argument("route: bad initial layout size");
+        throw ValidationError("route: bad initial layout size");
 
     RoutedCircuit result;
     result.circuit.setNumQubits(topo.numAtoms());
@@ -71,7 +72,7 @@ route(const Circuit &circuit, const Topology &topo,
             continue;
         }
         if (g.numQubits() != 2)
-            throw std::invalid_argument("route: unexpected 3-qubit gate");
+            throw InternalError("route: unexpected 3-qubit gate");
         Qubit a = l2a[static_cast<size_t>(g.qubit(0))];
         Qubit b = l2a[static_cast<size_t>(g.qubit(1))];
         if (!topo.areAdjacent(a, b)) {
@@ -97,7 +98,7 @@ chooseInitialLayout(const Circuit &circuit, const Topology &topo)
     const int n = circuit.numQubits();
     const int atoms = topo.numAtoms();
     if (n > atoms)
-        throw std::invalid_argument("chooseInitialLayout: too many qubits");
+        throw ValidationError("chooseInitialLayout: too many qubits");
 
     // Interaction weights between logical qubits.
     std::vector<std::vector<int>> weight(

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/error.hpp"
 #include "obs/obs.hpp"
 #include "transpile/basis.hpp"
 
@@ -99,11 +100,11 @@ routeSabre(const Circuit &circuit, const Topology &topo,
            const SabreOptions &options)
 {
     if (!circuit.isPhysical())
-        throw std::invalid_argument("routeSabre: physical basis required");
+        throw ValidationError("routeSabre: physical basis required");
     if (circuit.numQubits() > topo.numAtoms())
-        throw std::invalid_argument("routeSabre: not enough atoms");
+        throw ValidationError("routeSabre: not enough atoms");
     if (initial_layout.size() != static_cast<size_t>(circuit.numQubits()))
-        throw std::invalid_argument("routeSabre: bad initial layout");
+        throw ValidationError("routeSabre: bad initial layout");
 
     RoutedCircuit result;
     result.circuit.setNumQubits(topo.numAtoms());

@@ -4,15 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/error.hpp"
+
 namespace geyser {
 
 U3Params
 u3FromMatrix(const Matrix &u)
 {
     if (u.rows() != 2 || u.cols() != 2)
-        throw std::invalid_argument("u3FromMatrix: not a 2x2 matrix");
+        throw ValidationError("u3FromMatrix: not a 2x2 matrix");
     if (!u.isUnitary(1e-8))
-        throw std::invalid_argument("u3FromMatrix: not unitary");
+        throw ValidationError("u3FromMatrix: not unitary");
 
     U3Params p;
     const Complex v00 = u(0, 0), v01 = u(0, 1), v10 = u(1, 0), v11 = u(1, 1);

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Standalone fuzzing driver for targets written against the libFuzzer
+ * ABI (`LLVMFuzzerTestOneInput`). The container toolchain is GCC, which
+ * has no `-fsanitize=fuzzer`; when CMake detects that, each fuzz target
+ * is linked against this driver instead, so the same target sources run
+ * everywhere — under real libFuzzer when clang is available, under this
+ * mutating replay loop otherwise.
+ *
+ * Command line (libFuzzer-compatible subset):
+ *   fuzz_target [flags] [corpus file or directory]...
+ *
+ *   -runs=N             mutation executions after corpus replay (0 = replay
+ *                       only, the ctest default)
+ *   -max_total_time=S   stop mutating after S seconds
+ *   -seed=N             RNG seed (deterministic; default 1)
+ *   -artifact_prefix=P  where crashing inputs are written (default ./)
+ *
+ * Unknown `-flag=value` arguments are ignored for drop-in compatibility
+ * with libFuzzer invocations in CI.
+ *
+ * Crash handling: before every execution the input is copied into a
+ * preallocated buffer; SIGSEGV/SIGABRT/SIGFPE/SIGILL/SIGBUS handlers and
+ * std::set_terminate write it to `<artifact_prefix>crash-<fnv64>` using
+ * only async-signal-safe calls, then exit non-zero — CI uploads the
+ * artifact and the run fails.
+ */
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *data, size_t size);
+
+namespace {
+
+constexpr size_t kMaxInputSize = 1 << 16;
+
+// --- Crash artifact plumbing (async-signal-safe only). ---------------
+
+char g_current[kMaxInputSize];
+size_t g_currentSize = 0;
+char g_artifactPath[4096] = "./crash-0000000000000000";
+size_t g_prefixLen = 2;  // Length of the "./" prefix in g_artifactPath.
+
+uint64_t
+fnv1a64(const char *data, size_t len)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Stamp the hash of the current input into the artifact path. */
+void
+stampArtifactName()
+{
+    static const char hex[] = "0123456789abcdef";
+    uint64_t h = fnv1a64(g_current, g_currentSize);
+    char *out = g_artifactPath + g_prefixLen + 6;  // Past "crash-".
+    for (int i = 15; i >= 0; --i) {
+        out[i] = hex[h & 0xf];
+        h >>= 4;
+    }
+}
+
+void
+writeArtifact()
+{
+    stampArtifactName();
+    const int fd = ::open(g_artifactPath, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0)
+        return;
+    size_t off = 0;
+    while (off < g_currentSize) {
+        const ssize_t n =
+            ::write(fd, g_current + off, g_currentSize - off);
+        if (n <= 0)
+            break;
+        off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+}
+
+void
+crashHandler(int sig)
+{
+    // Best-effort: save the input, report, die with the default action
+    // so the exit status still reflects the signal.
+    writeArtifact();
+    constexpr char msg[] = "\n== crash: input saved to artifact ==\n";
+    [[maybe_unused]] const ssize_t n =
+        ::write(2, msg, sizeof(msg) - 1);
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+[[noreturn]] void
+terminateHandler()
+{
+    writeArtifact();
+    std::fprintf(stderr,
+                 "== uncaught exception: input saved to %s ==\n",
+                 g_artifactPath);
+    std::_Exit(77);
+}
+
+void
+installHandlers()
+{
+    for (const int sig : {SIGSEGV, SIGABRT, SIGFPE, SIGILL, SIGBUS})
+        ::signal(sig, crashHandler);
+    std::set_terminate(terminateHandler);
+}
+
+// --- Deterministic RNG + mutations. ----------------------------------
+
+struct Rng
+{
+    uint64_t state;
+    uint64_t next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+    size_t below(size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+/** Grammar fragments that matter to these parsers. */
+const char *const kDictionary[] = {
+    "OPENQASM 2.0;", "qreg q[", "];",     "cx q[",  "rz(",  "pi",
+    "1/0",           "1e999",   "((((",   "----",   "-1",   "qubits ",
+    "u3 ",           "ccz ",    "layout", "endheader\n",    "technique ",
+    "geyser-cache-v1\n",        "0",      "9999999999",     ",q[",
+};
+
+void
+mutate(std::string &data, Rng &rng,
+       const std::vector<std::string> &corpus)
+{
+    const int rounds = 1 + static_cast<int>(rng.below(4));
+    for (int r = 0; r < rounds; ++r) {
+        switch (rng.below(7)) {
+          case 0:  // Flip one bit.
+            if (!data.empty())
+                data[rng.below(data.size())] ^=
+                    static_cast<char>(1u << rng.below(8));
+            break;
+          case 1:  // Overwrite one byte.
+            if (!data.empty())
+                data[rng.below(data.size())] =
+                    static_cast<char>(rng.below(256));
+            break;
+          case 2:  // Insert one byte.
+            data.insert(rng.below(data.size() + 1), 1,
+                        static_cast<char>(rng.below(256)));
+            break;
+          case 3: {  // Erase a short range.
+            if (data.empty())
+                break;
+            const size_t at = rng.below(data.size());
+            data.erase(at, 1 + rng.below(8));
+            break;
+          }
+          case 4: {  // Duplicate a short range.
+            if (data.empty())
+                break;
+            const size_t at = rng.below(data.size());
+            const size_t len =
+                std::min(data.size() - at, 1 + rng.below(16));
+            data.insert(rng.below(data.size() + 1),
+                        data.substr(at, len));
+            break;
+          }
+          case 5: {  // Insert a dictionary token.
+            const size_t n = sizeof(kDictionary) / sizeof(kDictionary[0]);
+            data.insert(rng.below(data.size() + 1),
+                        kDictionary[rng.below(n)]);
+            break;
+          }
+          default: {  // Splice with another corpus input.
+            if (corpus.empty())
+                break;
+            const std::string &other = corpus[rng.below(corpus.size())];
+            if (other.empty())
+                break;
+            data = data.substr(0, rng.below(data.size() + 1)) +
+                   other.substr(rng.below(other.size()));
+            break;
+          }
+        }
+    }
+    if (data.size() > kMaxInputSize)
+        data.resize(kMaxInputSize);
+}
+
+// --- Corpus + execution. ----------------------------------------------
+
+int
+runOne(const std::string &input)
+{
+    g_currentSize = std::min(input.size(), kMaxInputSize);
+    std::memcpy(g_current, input.data(), g_currentSize);
+    return LLVMFuzzerTestOneInput(
+        reinterpret_cast<const uint8_t *>(input.data()), input.size());
+}
+
+void
+loadCorpus(const std::string &path, std::vector<std::string> &out)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        std::vector<std::string> files;
+        for (fs::directory_iterator it(path, ec), end; !ec && it != end;
+             it.increment(ec))
+            if (it->is_regular_file())
+                files.push_back(it->path().string());
+        // Directory order is filesystem-dependent; sort for determinism.
+        std::sort(files.begin(), files.end());
+        for (const std::string &f : files)
+            loadCorpus(f, out);
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "warning: cannot read corpus input %s\n",
+                     path.c_str());
+        return;
+    }
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (data.size() > kMaxInputSize)
+        data.resize(kMaxInputSize);
+    out.push_back(std::move(data));
+}
+
+long long
+flagValue(const std::string &arg, const char *name)
+{
+    const std::string prefix = std::string("-") + name + "=";
+    if (arg.compare(0, prefix.size(), prefix) != 0)
+        return -1;
+    return std::atoll(arg.c_str() + prefix.size());
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    long long runs = 0, maxTotalTime = 0;
+    uint64_t seed = 1;
+    std::vector<std::string> corpus;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (long long v; (v = flagValue(arg, "runs")) >= 0)
+            runs = v;
+        else if ((v = flagValue(arg, "max_total_time")) >= 0)
+            maxTotalTime = v;
+        else if ((v = flagValue(arg, "seed")) >= 0)
+            seed = static_cast<uint64_t>(v);
+        else if (arg.compare(0, 17, "-artifact_prefix=") == 0) {
+            const std::string prefix = arg.substr(17);
+            if (prefix.size() + 24 < sizeof(g_artifactPath)) {
+                std::snprintf(g_artifactPath, sizeof(g_artifactPath),
+                              "%scrash-0000000000000000", prefix.c_str());
+                g_prefixLen = prefix.size();
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            // Ignore other libFuzzer flags for drop-in compatibility.
+        } else {
+            loadCorpus(arg, corpus);
+        }
+    }
+
+    installHandlers();
+
+    long long execs = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::string &input : corpus) {
+        runOne(input);
+        ++execs;
+    }
+    std::fprintf(stderr, "replayed %zu corpus inputs\n", corpus.size());
+
+    if (runs > 0 || maxTotalTime > 0) {
+        Rng rng{seed != 0 ? seed : 1};
+        const auto deadline =
+            start + std::chrono::seconds(maxTotalTime > 0 ? maxTotalTime
+                                                          : 1 << 30);
+        long long mutated = 0;
+        while ((runs == 0 || mutated < runs) &&
+               (maxTotalTime == 0 ||
+                std::chrono::steady_clock::now() < deadline)) {
+            std::string input =
+                corpus.empty() ? std::string()
+                               : corpus[rng.below(corpus.size())];
+            mutate(input, rng, corpus);
+            runOne(input);
+            ++execs;
+            ++mutated;
+        }
+    }
+
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::fprintf(stderr, "done: %lld execs in %.1fs (%.0f/s), no crashes\n",
+                 execs, secs, secs > 0 ? execs / secs : 0.0);
+    return 0;
+}

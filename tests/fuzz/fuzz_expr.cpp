@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fuzz target: the angle-expression evaluator. Arbitrary bytes must
+ * either be rejected with a ParseError carrying `expr@<offset>` context
+ * or evaluate to a finite double, deterministically. Deep nesting and
+ * overflow literals historically walked the stack or produced inf/NaN
+ * angles; both classes are regression-guarded here.
+ */
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "io/qasm_parser.hpp"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    const std::string text(reinterpret_cast<const char *>(data), size);
+    double value = 0.0;
+    try {
+        value = geyser::evalAngleExpr(text);
+    } catch (const geyser::ParseError &e) {
+        if (e.where().source != "expr")
+            __builtin_trap();  // Wrong context tag on the diagnostic.
+        return 0;
+    }
+    if (!std::isfinite(value))
+        __builtin_trap();  // The finite-or-throw contract was violated.
+    if (geyser::evalAngleExpr(text) != value)
+        __builtin_trap();  // Evaluation must be deterministic.
+    return 0;
+}

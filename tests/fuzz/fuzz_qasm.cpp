@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fuzz target: the OpenQASM 2.0 parser. Arbitrary bytes must either be
+ * rejected with a taxonomy error carrying `qasm:<line>:` context, or be
+ * accepted as a circuit that (a) passes Circuit::validate() and (b)
+ * survives an emit → reparse round trip with the qubit count intact.
+ * Any other exception type, crash, or sanitizer report is a finding.
+ */
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "io/qasm_parser.hpp"
+#include "io/serialize.hpp"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    const std::string text(reinterpret_cast<const char *>(data), size);
+    geyser::Circuit circuit;
+    try {
+        circuit = geyser::circuitFromQasm(text);
+    } catch (const geyser::Error &) {
+        return 0;  // Structured rejection is the expected outcome.
+    }
+    // Accepted inputs are on the trusted side of the boundary now:
+    // validate() must hold and the round trip must stay parseable.
+    circuit.validate();
+    const geyser::Circuit back =
+        geyser::circuitFromQasm(geyser::circuitToQasm(circuit));
+    back.validate();
+    if (back.numQubits() != circuit.numQubits())
+        __builtin_trap();
+    return 0;
+}

@@ -35,12 +35,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "algos/suite.hpp"
 #include "cache/result_cache.hpp"
 #include "circuit/draw.hpp"
+#include "common/error.hpp"
 #include "geyser/pipeline.hpp"
 #include "io/qasm_parser.hpp"
 #include "io/serialize.hpp"
@@ -119,7 +121,39 @@ parseTechnique(const std::string &name)
         return Technique::Geyser;
     if (name == "superconducting")
         return Technique::Superconducting;
-    throw std::invalid_argument("unknown technique: " + name);
+    throw ParseError("unknown technique: " + name);
+}
+
+/** Strict numeric option parsing: no raw std::stod/stoi escapes. */
+double
+parseDoubleArg(const char *flag, const std::string &text)
+{
+    size_t consumed = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(text, &consumed);
+    } catch (const std::exception &) {
+        consumed = std::string::npos;
+    }
+    if (consumed != text.size() || text.empty())
+        throw ParseError(std::string(flag) + ": bad number '" + text + "'");
+    return v;
+}
+
+int
+parseIntArg(const char *flag, const std::string &text)
+{
+    size_t consumed = 0;
+    long v = 0;
+    try {
+        v = std::stol(text, &consumed);
+    } catch (const std::exception &) {
+        consumed = std::string::npos;
+    }
+    if (consumed != text.size() || text.empty() || v < 0 ||
+        v > std::numeric_limits<int>::max())
+        throw ParseError(std::string(flag) + ": bad count '" + text + "'");
+    return static_cast<int>(v);
 }
 
 }  // namespace
@@ -160,9 +194,9 @@ main(int argc, char **argv)
             else if (arg == "--pulses")
                 pulses = true;
             else if (arg == "--noise")
-                noiseRate = std::stod(next());
+                noiseRate = parseDoubleArg("--noise", next());
             else if (arg == "--trajectories")
-                trajectories = std::stoi(next());
+                trajectories = parseIntArg("--trajectories", next());
             else if (arg == "--quiet")
                 quiet = true;
             else if (arg == "--trace")
@@ -300,6 +334,14 @@ main(int argc, char **argv)
         }
         writeObs();
         return 0;
+    } catch (const Error &e) {
+        // Taxonomy errors know their class and location; report both so
+        // "geyserc: parse error: qasm:17: ..." is actionable without a
+        // debugger. Internal errors are bugs in this tool, not in the
+        // input — exit 3 so scripts can tell them apart.
+        std::fprintf(stderr, "geyserc: %s: %s\n", errorKindName(e.kind()),
+                     e.what());
+        return e.kind() == ErrorKind::Internal ? 3 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "geyserc: %s\n", e.what());
         return 1;
