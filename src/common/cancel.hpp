@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cooperative cancellation and per-job deadlines for long compiles.
+ *
+ * A CancelToken is shared between the party running a compile (which
+ * calls checkpoint() between pipeline stages and per composed block)
+ * and the party that may abort it (a service cancel request, a signal
+ * handler, a watchdog). checkpoint() is cheap — two relaxed atomic
+ * loads on the not-cancelled path — and throws CancelledError or
+ * DeadlineError when the token has tripped, unwinding the compile at
+ * the next stage boundary. It also records the stage name it was
+ * called with, so an observer (the service's status endpoint) can
+ * report where a running job currently is without any extra plumbing.
+ *
+ * Tokens outlive the compile they guard (the service keeps them in the
+ * job table); all members are safe to call concurrently.
+ */
+#ifndef GEYSER_COMMON_CANCEL_HPP
+#define GEYSER_COMMON_CANCEL_HPP
+
+#include <atomic>
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace geyser {
+
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Ask the guarded work to stop at its next checkpoint. */
+    void requestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    bool cancelRequested() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** Absolute deadline; work past it throws at the next checkpoint. */
+    void setDeadline(Clock::time_point deadline)
+    {
+        deadlineMicros_.store(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                deadline.time_since_epoch())
+                .count(),
+            std::memory_order_relaxed);
+    }
+
+    /** Convenience: deadline `ms` milliseconds from now (ms <= 0: none). */
+    void setDeadlineAfterMs(long ms)
+    {
+        if (ms > 0)
+            setDeadline(Clock::now() + std::chrono::milliseconds(ms));
+    }
+
+    bool deadlineExpired() const
+    {
+        const long long us = deadlineMicros_.load(std::memory_order_relaxed);
+        return us > 0 &&
+               Clock::now().time_since_epoch() >=
+                   std::chrono::microseconds(us);
+    }
+
+    /**
+     * Record the current stage and throw if the token has tripped.
+     * Called between pipeline stages and once per composed block, so a
+     * cancel or deadline takes effect at the next block boundary, not
+     * after hours of composition.
+     */
+    void checkpoint(const char *stage) const
+    {
+        stage_.store(stage, std::memory_order_relaxed);
+        if (cancelRequested())
+            throw CancelledError(std::string("cancelled during ") + stage);
+        if (deadlineExpired())
+            throw DeadlineError(std::string("deadline exceeded during ") +
+                                stage);
+    }
+
+    /** Last stage name passed to checkpoint() ("" before the first). */
+    const char *stage() const
+    {
+        const char *s = stage_.load(std::memory_order_relaxed);
+        return s != nullptr ? s : "";
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    std::atomic<long long> deadlineMicros_{0};
+    mutable std::atomic<const char *> stage_{nullptr};
+};
+
+}  // namespace geyser
+
+#endif  // GEYSER_COMMON_CANCEL_HPP

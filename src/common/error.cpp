@@ -1,5 +1,6 @@
 #include "common/error.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace geyser {
@@ -16,8 +17,28 @@ errorKindName(ErrorKind kind)
         return "io error";
       case ErrorKind::Internal:
         return "internal error";
+      case ErrorKind::Cancelled:
+        return "cancelled";
+      case ErrorKind::Deadline:
+        return "deadline exceeded";
     }
     return "error";
+}
+
+int
+renderCliError(const char *tool, const std::exception &e)
+{
+    // Taxonomy errors know their class and location; report both so
+    // "<tool>: parse error: qasm:17: ..." is actionable without a
+    // debugger. Internal errors are bugs in this library, not in the
+    // input — exit 3 so scripts can tell them apart.
+    if (const auto *err = dynamic_cast<const Error *>(&e)) {
+        std::fprintf(stderr, "%s: %s: %s\n", tool,
+                     errorKindName(err->kind()), err->what());
+        return err->kind() == ErrorKind::Internal ? 3 : 1;
+    }
+    std::fprintf(stderr, "%s: %s\n", tool, e.what());
+    return 1;
 }
 
 std::string

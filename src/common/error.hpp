@@ -17,6 +17,10 @@
  *                     file). Carries the path as source context.
  *  - InternalError    a "can't happen" invariant broke — always a bug
  *                     in this library, never the input's fault.
+ *  - CancelledError   cooperative cancellation observed a cancel
+ *                     request at a checkpoint (service jobs, Ctrl-C).
+ *  - DeadlineError    a per-job deadline expired before the work
+ *                     finished (checked at the same checkpoints).
  *
  * ParseError and ValidationError derive from std::invalid_argument,
  * IoError from std::runtime_error, and InternalError from
@@ -35,7 +39,7 @@
 namespace geyser {
 
 /** Coarse class of a boundary error; see the file comment. */
-enum class ErrorKind { Parse, Validation, Io, Internal };
+enum class ErrorKind { Parse, Validation, Io, Internal, Cancelled, Deadline };
 
 /** Human-readable name of a kind ("parse error", ...). */
 const char *errorKindName(ErrorKind kind);
@@ -148,6 +152,42 @@ class InternalError : public std::logic_error, public Error
         return std::logic_error::what();
     }
 };
+
+/** Cooperative cancellation observed at a checkpoint (not a failure). */
+class CancelledError : public std::runtime_error, public Error
+{
+  public:
+    explicit CancelledError(const std::string &message)
+        : std::runtime_error(message) {}
+
+    ErrorKind kind() const noexcept override { return ErrorKind::Cancelled; }
+    const char *what() const noexcept override
+    {
+        return std::runtime_error::what();
+    }
+};
+
+/** A per-job deadline expired before the work finished. */
+class DeadlineError : public std::runtime_error, public Error
+{
+  public:
+    explicit DeadlineError(const std::string &message)
+        : std::runtime_error(message) {}
+
+    ErrorKind kind() const noexcept override { return ErrorKind::Deadline; }
+    const char *what() const noexcept override
+    {
+        return std::runtime_error::what();
+    }
+};
+
+/**
+ * Shared CLI rendering of a boundary error: "<tool>: <kind>: <what>"
+ * for taxonomy errors, "<tool>: <what>" for anything else — one helper
+ * so geyserc's and geyserd's kind-labelled stderr cannot drift apart.
+ * Returns the process exit code: 3 for internal bugs, 1 otherwise.
+ */
+int renderCliError(const char *tool, const std::exception &e);
 
 }  // namespace geyser
 

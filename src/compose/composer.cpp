@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "cache/result_cache.hpp"
+#include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "io/framing.hpp"
 #include "io/serialize.hpp"
@@ -59,13 +60,15 @@ composeWithoutEntanglers(const Circuit &block)
 
 double
 rotosolve(AnsatzEvaluator &evaluator, int max_sweeps, double stop_at,
-          long &evaluations)
+          long &evaluations, const CancelToken *cancel)
 {
     const int dim = evaluator.dim();
 
     ++evaluations;
     double best = hsdFromTrace(evaluator.trace(), dim);
     for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (cancel != nullptr)
+            cancel->checkpoint("compose");
         const double sweepStart = best;
         evaluator.beginSweep();
         for (int col = 0; col < evaluator.columns(); ++col) {
@@ -184,6 +187,8 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
 
     std::vector<Entangler> entanglers;
     for (int layers = 1; layers <= options.maxLayers; ++layers) {
+        if (options.cancel != nullptr)
+            options.cancel->checkpoint("compose");
         Entangler depthBestEntangler = Entangler::Ccz;
         double depthBestHsd = 2.0;
         // Candidate per-layer entangler choices to try at this depth.
@@ -265,7 +270,8 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
                     evaluator.setAngles(angles);
                     const double h =
                         rotosolve(evaluator, triageSweeps,
-                                  options.threshold, result.evaluations);
+                                  options.threshold, result.evaluations,
+                                  options.cancel);
                     if (h <= options.threshold) {
                         bestHsd = h;
                         bestAngles = evaluator.angles();
@@ -279,7 +285,8 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
                     evaluator.setAngles(start.angles);
                     const double h =
                         rotosolve(evaluator, options.maxSweeps,
-                                  options.threshold, result.evaluations);
+                                  options.threshold, result.evaluations,
+                                  options.cancel);
                     if (h < bestHsd) {
                         bestHsd = h;
                         bestAngles = evaluator.angles();
@@ -301,7 +308,8 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
                     evaluator.setAngles(angles);
                     const double h =
                         rotosolve(evaluator, options.maxSweeps,
-                                  options.threshold, result.evaluations);
+                                  options.threshold, result.evaluations,
+                                  options.cancel);
                     if (h < bestHsd) {
                         bestHsd = h;
                         bestAngles = evaluator.angles();
@@ -325,6 +333,11 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
                 const auto out = dualAnnealing(
                     countedObjective(
                         [&](const std::vector<double> &a) {
+                            // Checkpoint per probe: negligible next to
+                            // the trace contraction, and annealing runs
+                            // can otherwise monopolise tens of seconds.
+                            if (options.cancel != nullptr)
+                                options.cancel->checkpoint("compose");
                             return hsdFromTrace(evaluator.traceAt(a), dim);
                         },
                         annealProbes),
@@ -336,7 +349,7 @@ composeBlock(const Circuit &block, const ComposeOptions &options)
                 evaluator.setAngles(out.x);
                 const double h =
                     rotosolve(evaluator, 30, options.threshold,
-                              result.evaluations);
+                              result.evaluations, options.cancel);
                 if (h < bestHsd) {
                     bestHsd = h;
                     bestAngles = evaluator.angles();

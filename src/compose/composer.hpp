@@ -24,6 +24,8 @@
 
 namespace geyser {
 
+class CancelToken;
+
 namespace cache {
 class ResultCache;
 }  // namespace cache
@@ -70,6 +72,14 @@ struct ComposeOptions
      * Normally plumbed from PipelineOptions::cache by compileGeyser.
      */
     cache::ResultCache *spill = nullptr;
+    /**
+     * Optional cancellation/deadline token (not owned), polled between
+     * optimizer restarts and rotosolve sweeps so a cancel or an expired
+     * deadline unwinds mid-block — a single block's angle search can
+     * run for seconds. Excluded from the memo key, like `spill`.
+     * Normally plumbed from PipelineOptions::cancel by compileGeyser.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Outcome of composing one block. */
@@ -122,10 +132,11 @@ double rotosolve(const Ansatz &ansatz, const Matrix &target,
  * at the accepted angle, never from the closed-form model alone, so
  * accumulated per-coordinate rounding cannot under-report the
  * distance. `evaluations` counts trace probes, directly comparable to
- * the dense path's objective-evaluation counts.
+ * the dense path's objective-evaluation counts. A non-null `cancel`
+ * token is checkpointed once per sweep.
  */
 double rotosolve(AnsatzEvaluator &evaluator, int max_sweeps, double stop_at,
-                 long &evaluations);
+                 long &evaluations, const CancelToken *cancel = nullptr);
 
 }  // namespace geyser
 

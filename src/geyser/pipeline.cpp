@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "cache/result_cache.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "circuit/schedule.hpp"
 #include "common/thread_pool.hpp"
@@ -44,6 +45,14 @@ msSince(StageClock::time_point t0)
 {
     return std::chrono::duration<double, std::milli>(StageClock::now() - t0)
         .count();
+}
+
+/** Cooperative cancellation/deadline check at a stage boundary. */
+void
+checkpoint(const PipelineOptions &options, const char *stage)
+{
+    if (options.cancel != nullptr)
+        options.cancel->checkpoint(stage);
 }
 
 verify::EquivalenceOptions
@@ -94,6 +103,7 @@ mapCircuit(Technique technique, const Circuit &logical, const Topology &topo,
     // circuits (out-of-range operands, duplicates, non-finite angles)
     // before they can reach the transpiler or the simulators.
     logical.validate();
+    checkpoint(options, "transpile");
 
     CompileResult result;
     result.technique = technique;
@@ -131,6 +141,7 @@ mapCircuit(Technique technique, const Circuit &logical, const Topology &topo,
         s.arg("pulses", static_cast<double>(routed.circuit.totalPulses()));
     }
     verifyRoutedStage(options, "routing (trivial walk)", physical, routed);
+    checkpoint(options, "route");
     if (optimized) {
         {
             obs::Span s("transpile.optimize.post", "pipeline");
@@ -143,6 +154,7 @@ mapCircuit(Technique technique, const Circuit &logical, const Topology &topo,
         const char *strategies[] = {"greedy", "sabre"};
         RoutedCircuit candidates[2];
         for (size_t ci = 0; ci < 2; ++ci) {
+            checkpoint(options, "route");
             obs::Span s("transpile.route", "pipeline");
             s.arg("strategy", strategies[ci]);
             auto &candidate = candidates[ci];
@@ -258,6 +270,7 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
                    Topology::forQubits(logical.numQubits()), true, options);
 
     // Blocking (Algorithm 1).
+    checkpoint(options, "blocking");
     const auto tBlock = StageClock::now();
     BlockedCircuit blocked;
     {
@@ -271,6 +284,7 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
     result.blockingMs = msSince(tBlock);
 
     // Composition (Algorithm 2), independently parallel across blocks.
+    checkpoint(options, "compose");
     const auto tCompose = StageClock::now();
     Circuit out(result.topology.numAtoms());
     {
@@ -285,9 +299,16 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
     ComposeOptions composeOptions = options.compose;
     if (composeOptions.spill == nullptr)
         composeOptions.spill = options.cache;
+    // Mid-block cancellation: one block's angle search can dominate the
+    // whole compile, so the token must reach the optimizer loops too.
+    if (composeOptions.cancel == nullptr)
+        composeOptions.cancel = options.cancel;
 
     std::vector<ComposeResult> composed(blocks.size());
     auto composeOne = [&](int i) {
+        // Per-block cancellation: a cancelled compile drains the rest of
+        // the batch in O(blocks) cheap throws instead of composing on.
+        checkpoint(options, "compose");
         // Identical local blocks (every Trotter step, every ripple-carry
         // stage) share one composition through the memo, so the seed must
         // not vary per block.
@@ -367,6 +388,7 @@ CompileResult
 compile(Technique technique, const Circuit &logical,
         const PipelineOptions &options)
 {
+    checkpoint(options, "start");
     cache::ResultCache *cache = options.cache;
     if (cache == nullptr || !cache->enabled())
         return compileUncached(technique, logical, options);
@@ -378,14 +400,17 @@ compile(Technique technique, const Circuit &logical,
     // entry. A compute keeps its in-memory result; replays are rebuilt
     // from the serialized payload (checksummed by the cache layer).
     std::optional<CompileResult> computed;
+    bool wasHit = false;
     const std::string payload = cache->getOrCompute(key, [&] {
         computed = compileUncached(technique, logical, options);
         return compileResultToText(*computed);
-    });
+    }, &wasHit);
     if (computed)
         return std::move(*computed);
-    if (auto replayed = compileResultFromText(payload, logical))
+    if (auto replayed = compileResultFromText(payload, logical)) {
+        replayed->cacheHit = wasHit;
         return std::move(*replayed);
+    }
     // A payload that passed the checksum but fails to parse or
     // validate means the serializer and parser disagree, or the entry
     // was written by a skewed build. Quarantine it so the next run

@@ -29,6 +29,8 @@
 
 namespace geyser {
 
+class CancelToken;
+
 namespace cache {
 class ResultCache;
 }  // namespace cache
@@ -93,6 +95,15 @@ struct PipelineOptions
      * never an error. nullptr compiles uncached.
      */
     cache::ResultCache *cache = nullptr;
+    /**
+     * Optional cooperative cancellation/deadline token (not owned).
+     * compile() calls cancel->checkpoint(stage) at every stage boundary
+     * and once per composed block; a tripped token unwinds the compile
+     * with CancelledError/DeadlineError at the next checkpoint and
+     * records the stage a running compile is currently in. nullptr
+     * compiles uninterruptible (the pre-service behaviour).
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Everything the benches report about one compiled circuit. */
@@ -118,6 +129,12 @@ struct CompileResult
     double blockingMs = 0.0;   ///< Algorithm 1 (Geyser only).
     double composeMs = 0.0;    ///< Algorithm 2 (Geyser only).
     double totalMs = 0.0;      ///< Whole compile() call.
+    /**
+     * True when this result was replayed from the persistent cache
+     * instead of compiled (set per call, never serialized; the stage
+     * times above are then the original compute's).
+     */
+    bool cacheHit = false;
 };
 
 /** Compile with the given technique. */

@@ -1,0 +1,110 @@
+#include "service/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace geyser {
+namespace service {
+
+ServiceClient
+ServiceClient::overTcp(int port)
+{
+    return ServiceClient(connectTcp(port));
+}
+
+ServiceClient
+ServiceClient::overUnix(const std::string &path)
+{
+    return ServiceClient(connectUnix(path));
+}
+
+Response
+ServiceClient::roundTrip(const Request &request)
+{
+    writeAll(fd_.get(), encodeRequest(request));
+    const auto line = reader_.readLine(kMaxHeaderBytes);
+    if (!line)
+        throw IoError("connection closed before reply");
+    Frame<Response> frame = parseResponseHeader(*line);
+    if (frame.hasPayload) {
+        std::string payload = reader_.readExact(frame.payloadBytes + 1);
+        if (payload.back() != '\n') {
+            SourceContext ctx;
+            ctx.source = "protocol";
+            throw ParseError(ctx, "missing payload terminator");
+        }
+        payload.pop_back();
+        frame.message.payload = std::move(payload);
+    }
+    return frame.message;
+}
+
+Response
+ServiceClient::submit(const std::string &qasm, Technique technique,
+                      int priority, long deadlineMs, bool useCache)
+{
+    Request request;
+    request.verb = Verb::Submit;
+    request.qasm = qasm;
+    request.technique = technique;
+    request.priority = priority;
+    request.deadlineMs = deadlineMs;
+    request.useCache = useCache;
+    return roundTrip(request);
+}
+
+Response
+ServiceClient::status(uint64_t id)
+{
+    Request request;
+    request.verb = Verb::Status;
+    request.id = id;
+    return roundTrip(request);
+}
+
+Response
+ServiceClient::result(uint64_t id)
+{
+    Request request;
+    request.verb = Verb::Result;
+    request.id = id;
+    return roundTrip(request);
+}
+
+Response
+ServiceClient::cancel(uint64_t id)
+{
+    Request request;
+    request.verb = Verb::Cancel;
+    request.id = id;
+    return roundTrip(request);
+}
+
+Response
+ServiceClient::ping()
+{
+    Request request;
+    request.verb = Verb::Ping;
+    return roundTrip(request);
+}
+
+Response
+ServiceClient::waitResult(uint64_t id, int pollMs)
+{
+    for (;;) {
+        const Response st = status(id);
+        if (!st.ok)
+            return st;  // not_found etc. — nothing to wait for.
+        const std::string *state = st.find("state");
+        if (state == nullptr)
+            throw IoError("status reply missing state");
+        if (*state != "queued" && *state != "running")
+            return result(id);
+        std::this_thread::sleep_for(std::chrono::milliseconds(pollMs));
+    }
+}
+
+}  // namespace service
+}  // namespace geyser

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A minimal synchronous client for the geyserd wire protocol, used by
+ * the end-to-end tests and available to tooling. One ServiceClient
+ * owns one connection; roundTrip() writes a request frame and blocks
+ * for the matching reply (the protocol is strictly request/response,
+ * so no correlation ids are needed).
+ */
+#ifndef GEYSER_SERVICE_CLIENT_HPP
+#define GEYSER_SERVICE_CLIENT_HPP
+
+#include <string>
+
+#include "service/protocol.hpp"
+#include "service/socket_io.hpp"
+
+namespace geyser {
+namespace service {
+
+class ServiceClient
+{
+  public:
+    /** Connect to a daemon on loopback TCP. Throws IoError on failure. */
+    static ServiceClient overTcp(int port);
+
+    /** Connect to a daemon on a Unix-domain socket path. */
+    static ServiceClient overUnix(const std::string &path);
+
+    /** Send one request and block for its reply. Throws IoError on a
+     *  torn connection and ParseError on a malformed reply; protocol
+     *  `err` replies are returned, not thrown. */
+    Response roundTrip(const Request &request);
+
+    /** Convenience wrappers over roundTrip(). */
+    Response submit(const std::string &qasm, Technique technique,
+                    int priority = 0, long deadlineMs = 0,
+                    bool useCache = true);
+    Response status(uint64_t id);
+    Response result(uint64_t id);
+    Response cancel(uint64_t id);
+    Response ping();
+
+    /** Poll status until the job reaches a terminal state, then fetch
+     *  its result. Throws IoError if the daemon goes away. */
+    Response waitResult(uint64_t id, int pollMs = 2);
+
+    void close() { fd_.close(); }
+
+  private:
+    explicit ServiceClient(Fd fd) : fd_(std::move(fd)), reader_(fd_.get())
+    {
+    }
+
+    Fd fd_;
+    SocketReader reader_;
+};
+
+}  // namespace service
+}  // namespace geyser
+
+#endif  // GEYSER_SERVICE_CLIENT_HPP

@@ -1,0 +1,71 @@
+#include "service/job_queue.hpp"
+
+namespace geyser {
+namespace service {
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+      case JobState::Cancelled:
+        return "cancelled";
+      case JobState::Expired:
+        return "expired";
+    }
+    return "?";
+}
+
+bool
+JobQueue::push(uint64_t id, int priority)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return false;
+    items_.push(Item{id, priority, nextSeq_++});
+    return true;
+}
+
+std::optional<JobQueue::Item>
+JobQueue::tryPop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty())
+        return std::nullopt;
+    Item item = items_.top();
+    items_.pop();
+    return item;
+}
+
+size_t
+JobQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+void
+JobQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    while (!items_.empty())
+        items_.pop();
+}
+
+bool
+JobQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+}  // namespace service
+}  // namespace geyser

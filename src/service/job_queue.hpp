@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The job model and the priority queue behind the compile service.
+ *
+ * Job lifecycle state machine (DESIGN.md §11):
+ *
+ *   Queued ──pop──▶ Running ──▶ Done
+ *     │                │    ├──▶ Failed     (taxonomy error recorded)
+ *     │                │    ├──▶ Cancelled  (cancel observed mid-compile)
+ *     │                └────└──▶ Expired    (deadline observed)
+ *     ├──cancel──▶ Cancelled    (before a worker picked it up)
+ *     └──deadline─▶ Expired     (lazily, while still queued)
+ *
+ * Queued / Running are the only non-terminal states; a terminal state
+ * never changes again. The queue itself is deliberately dumb: it
+ * orders job ids by (priority desc, submit sequence asc) and knows
+ * nothing about records, deadlines, or cancellation — those live in
+ * the service's job table, so a cancelled or expired entry is simply
+ * skipped when popped.
+ */
+#ifndef GEYSER_SERVICE_JOB_QUEUE_HPP
+#define GEYSER_SERVICE_JOB_QUEUE_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace geyser {
+namespace service {
+
+/** Where a job is in its lifecycle. */
+enum class JobState { Queued, Running, Done, Failed, Cancelled, Expired };
+
+/** Wire/report token of a state ("queued", "running", ...). */
+const char *jobStateName(JobState state);
+
+/** True once a job can never change state again. */
+inline bool
+jobStateTerminal(JobState state)
+{
+    return state != JobState::Queued && state != JobState::Running;
+}
+
+/**
+ * Thread-safe ordering of pending job ids: highest priority first,
+ * FIFO within a priority level (by submit sequence). Closing the queue
+ * permanently empties it; pushes after close are dropped.
+ */
+class JobQueue
+{
+  public:
+    struct Item
+    {
+        uint64_t id = 0;
+        int priority = 0;
+        uint64_t seq = 0;  ///< Submit order, assigned by push().
+    };
+
+    /** Enqueue a job id at a priority; returns false after close(). */
+    bool push(uint64_t id, int priority);
+
+    /** Highest-priority pending item, or nullopt when empty/closed. */
+    std::optional<Item> tryPop();
+
+    /** Pending count (0 after close()). */
+    size_t size() const;
+
+    /** Drop all pending items and reject future pushes. */
+    void close();
+
+    bool closed() const;
+
+  private:
+    struct After
+    {
+        bool operator()(const Item &a, const Item &b) const
+        {
+            if (a.priority != b.priority)
+                return a.priority < b.priority;  // Higher priority first.
+            return a.seq > b.seq;                // Then FIFO.
+        }
+    };
+
+    mutable std::mutex mutex_;
+    std::priority_queue<Item, std::vector<Item>, After> items_;
+    uint64_t nextSeq_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace service
+}  // namespace geyser
+
+#endif  // GEYSER_SERVICE_JOB_QUEUE_HPP

@@ -1,0 +1,499 @@
+#include "service/protocol.hpp"
+
+#include <charconv>
+#include <cstring>
+
+namespace geyser {
+namespace service {
+
+namespace {
+
+const char kMagic[] = "geyser/";
+
+std::string
+magicToken()
+{
+    return std::string(kMagic) + std::to_string(kProtocolVersion);
+}
+
+[[noreturn]] void
+bad(const std::string &message)
+{
+    SourceContext ctx;
+    ctx.source = "protocol";
+    throw ParseError(ctx, message);
+}
+
+/** Strict unsigned decimal parse (no sign, no junk, no overflow). */
+uint64_t
+parseUnsigned(const std::string &key, const std::string &text,
+              uint64_t maxValue)
+{
+    uint64_t v = 0;
+    const char *first = text.data();
+    const char *last = first + text.size();
+    const auto r = std::from_chars(first, last, v);
+    if (text.empty() || r.ec != std::errc() || r.ptr != last || v > maxValue)
+        bad(key + ": bad number '" + text + "'");
+    return v;
+}
+
+/** Strict signed decimal parse within [minValue, maxValue]. */
+long long
+parseSigned(const std::string &key, const std::string &text,
+            long long minValue, long long maxValue)
+{
+    long long v = 0;
+    const char *first = text.data();
+    const char *last = first + text.size();
+    const auto r = std::from_chars(first, last, v);
+    if (text.empty() || r.ec != std::errc() || r.ptr != last ||
+        v < minValue || v > maxValue)
+        bad(key + ": bad number '" + text + "'");
+    return v;
+}
+
+Technique
+techniqueFromWire(const std::string &token)
+{
+    if (token == "baseline")
+        return Technique::Baseline;
+    if (token == "optimap")
+        return Technique::OptiMap;
+    if (token == "geyser")
+        return Technique::Geyser;
+    if (token == "superconducting")
+        return Technique::Superconducting;
+    bad("technique: unknown value '" + token + "'");
+}
+
+/** Header tokens: nonempty, printable ASCII, no spaces. */
+bool
+validToken(const std::string &token)
+{
+    if (token.empty())
+        return false;
+    for (const char c : token)
+        if (c <= 0x20 || c >= 0x7f)
+            return false;
+    return true;
+}
+
+bool
+validKey(const std::string &key)
+{
+    if (key.empty())
+        return false;
+    for (const char c : key)
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_'))
+            return false;
+    return true;
+}
+
+/** Split a header line into space-separated tokens; empty tokens fail. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    if (line.size() > kMaxHeaderBytes)
+        bad("header too long (" + std::to_string(line.size()) + " bytes)");
+    if (line.find('\n') != std::string::npos ||
+        line.find('\r') != std::string::npos)
+        bad("header contains a line break");
+    std::vector<std::string> tokens;
+    size_t start = 0;
+    while (start <= line.size()) {
+        size_t end = line.find(' ', start);
+        if (end == std::string::npos)
+            end = line.size();
+        if (end == start)
+            bad("empty token (doubled or trailing space)");
+        tokens.push_back(line.substr(start, end - start));
+        start = end + 1;
+    }
+    return tokens;
+}
+
+/**
+ * Parse the `key=value ...` tail of a header into ordered pairs,
+ * rejecting malformed and duplicate keys.
+ */
+std::vector<std::pair<std::string, std::string>>
+parseFields(const std::vector<std::string> &tokens, size_t first)
+{
+    std::vector<std::pair<std::string, std::string>> fields;
+    for (size_t i = first; i < tokens.size(); ++i) {
+        const std::string &token = tokens[i];
+        const size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size())
+            bad("malformed field '" + token + "' (want key=value)");
+        std::string key = token.substr(0, eq);
+        std::string value = token.substr(eq + 1);
+        if (!validKey(key))
+            bad("bad field key '" + key + "'");
+        for (const auto &f : fields)
+            if (f.first == key)
+                bad("duplicate field '" + key + "'");
+        fields.emplace_back(std::move(key), std::move(value));
+    }
+    return fields;
+}
+
+size_t
+parsePayloadBytes(const std::string &value)
+{
+    const uint64_t n = parseUnsigned("payload", value, kMaxPayloadBytes);
+    return static_cast<size_t>(n);
+}
+
+void
+checkMagic(const std::vector<std::string> &tokens)
+{
+    if (tokens.empty())
+        bad("empty header");
+    const std::string &m = tokens[0];
+    if (m.rfind(kMagic, 0) != 0)
+        bad("bad magic '" + m + "' (want " + magicToken() + ")");
+    if (m != magicToken())
+        bad("unsupported protocol version '" + m + "' (this daemon speaks " +
+            magicToken() + ")");
+}
+
+}  // namespace
+
+const char *
+wireTechniqueName(Technique technique)
+{
+    switch (technique) {
+      case Technique::Baseline:
+        return "baseline";
+      case Technique::OptiMap:
+        return "optimap";
+      case Technique::Geyser:
+        return "geyser";
+      case Technique::Superconducting:
+        return "superconducting";
+    }
+    return "geyser";
+}
+
+const char *
+verbName(Verb verb)
+{
+    switch (verb) {
+      case Verb::Submit:
+        return "submit";
+      case Verb::Status:
+        return "status";
+      case Verb::Result:
+        return "result";
+      case Verb::Cancel:
+        return "cancel";
+      case Verb::Ping:
+        return "ping";
+      case Verb::Stats:
+        return "stats";
+      case Verb::Shutdown:
+        return "shutdown";
+    }
+    return "?";
+}
+
+void
+Response::set(const std::string &key, const std::string &value)
+{
+    fields.emplace_back(key, value);
+}
+
+const std::string *
+Response::find(const std::string &key) const
+{
+    for (const auto &f : fields)
+        if (f.first == key)
+            return &f.second;
+    return nullptr;
+}
+
+Response
+Response::error(const std::string &kind, int code, const std::string &message)
+{
+    Response r;
+    r.ok = false;
+    r.set("kind", kind);
+    r.set("code", std::to_string(code));
+    r.hasPayload = true;
+    r.payload = message;
+    return r;
+}
+
+const char *
+wireErrorKind(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Parse:
+        return "parse";
+      case ErrorKind::Validation:
+        return "validation";
+      case ErrorKind::Io:
+        return "io";
+      case ErrorKind::Internal:
+        return "internal";
+      case ErrorKind::Cancelled:
+        return "cancelled";
+      case ErrorKind::Deadline:
+        return "deadline";
+    }
+    return "internal";
+}
+
+int
+wireErrorCode(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Parse:
+      case ErrorKind::Validation:
+        return 400;  // The request's fault.
+      case ErrorKind::Deadline:
+        return 408;
+      case ErrorKind::Cancelled:
+        return 410;
+      case ErrorKind::Io:
+      case ErrorKind::Internal:
+        return 500;  // The daemon's fault — never the input's.
+    }
+    return 500;
+}
+
+std::string
+encodeRequest(const Request &request)
+{
+    std::string out = magicToken();
+    out += ' ';
+    out += verbName(request.verb);
+    switch (request.verb) {
+      case Verb::Submit:
+        if (request.qasm.size() > kMaxPayloadBytes)
+            throw ValidationError("submit: payload exceeds " +
+                                  std::to_string(kMaxPayloadBytes) +
+                                  " bytes");
+        // Canonical form: every field, fixed order, defaults included,
+        // so identical requests are identical bytes (golden-friendly).
+        out += " technique=";
+        out += wireTechniqueName(request.technique);
+        out += " format=";
+        out += request.format == ResultFormat::Qasm ? "qasm" : "text";
+        out += " priority=" + std::to_string(request.priority);
+        out += " deadline_ms=" + std::to_string(request.deadlineMs);
+        out += request.useCache ? " cache=on" : " cache=off";
+        out += " payload=" + std::to_string(request.qasm.size());
+        out += '\n';
+        out += request.qasm;
+        out += '\n';
+        return out;
+      case Verb::Status:
+      case Verb::Result:
+      case Verb::Cancel:
+        out += " id=" + std::to_string(request.id);
+        break;
+      case Verb::Ping:
+      case Verb::Stats:
+      case Verb::Shutdown:
+        break;
+    }
+    out += '\n';
+    return out;
+}
+
+std::string
+encodeResponse(const Response &response)
+{
+    std::string out = magicToken();
+    out += response.ok ? " ok" : " err";
+    for (const auto &f : response.fields) {
+        if (!validKey(f.first) || f.first == "payload" ||
+            !validToken(f.second))
+            throw InternalError("encodeResponse: unencodable field '" +
+                                f.first + "=" + f.second + "'");
+        out += ' ';
+        out += f.first;
+        out += '=';
+        out += f.second;
+    }
+    if (response.hasPayload) {
+        if (response.payload.size() > kMaxPayloadBytes)
+            throw InternalError("encodeResponse: payload exceeds cap");
+        out += " payload=" + std::to_string(response.payload.size());
+        out += '\n';
+        out += response.payload;
+    }
+    out += '\n';
+    return out;
+}
+
+Frame<Request>
+parseRequestHeader(const std::string &line)
+{
+    const auto tokens = tokenize(line);
+    checkMagic(tokens);
+    if (tokens.size() < 2)
+        bad("missing verb");
+
+    Frame<Request> frame;
+    Request &request = frame.message;
+    const std::string &verb = tokens[1];
+    const auto fields = parseFields(tokens, 2);
+
+    auto only = [&](const char *key) {
+        // Control verbs take exactly the fields named by the grammar.
+        for (const auto &f : fields)
+            if (f.first != key)
+                bad(verb + ": unknown field '" + f.first + "'");
+    };
+
+    if (verb == "submit") {
+        request.verb = Verb::Submit;
+        bool sawPayload = false;
+        for (const auto &[key, value] : fields) {
+            if (key == "technique") {
+                request.technique = techniqueFromWire(value);
+            } else if (key == "format") {
+                if (value == "qasm")
+                    request.format = ResultFormat::Qasm;
+                else if (value == "text")
+                    request.format = ResultFormat::Text;
+                else
+                    bad("format: unknown value '" + value + "'");
+            } else if (key == "priority") {
+                request.priority = static_cast<int>(
+                    parseSigned(key, value, -1000000, 1000000));
+            } else if (key == "deadline_ms") {
+                request.deadlineMs = static_cast<long>(
+                    parseSigned(key, value, 0, 1000L * 1000 * 1000));
+            } else if (key == "cache") {
+                if (value == "on")
+                    request.useCache = true;
+                else if (value == "off")
+                    request.useCache = false;
+                else
+                    bad("cache: unknown value '" + value + "'");
+            } else if (key == "payload") {
+                frame.payloadBytes = parsePayloadBytes(value);
+                sawPayload = true;
+            } else {
+                bad("submit: unknown field '" + key + "'");
+            }
+        }
+        if (!sawPayload)
+            bad("submit: missing payload");
+        frame.hasPayload = true;
+        return frame;
+    }
+    if (verb == "status" || verb == "result" || verb == "cancel") {
+        request.verb = verb == "status"  ? Verb::Status
+                       : verb == "result" ? Verb::Result
+                                          : Verb::Cancel;
+        only("id");
+        bool sawId = false;
+        for (const auto &[key, value] : fields) {
+            request.id = parseUnsigned(key, value, UINT64_MAX);
+            sawId = true;
+        }
+        if (!sawId)
+            bad(verb + ": missing id");
+        return frame;
+    }
+    if (verb == "ping" || verb == "stats" || verb == "shutdown") {
+        request.verb = verb == "ping"   ? Verb::Ping
+                       : verb == "stats" ? Verb::Stats
+                                         : Verb::Shutdown;
+        if (!fields.empty())
+            bad(verb + ": takes no fields");
+        return frame;
+    }
+    bad("unknown verb '" + verb + "'");
+}
+
+Frame<Response>
+parseResponseHeader(const std::string &line)
+{
+    const auto tokens = tokenize(line);
+    checkMagic(tokens);
+    if (tokens.size() < 2)
+        bad("missing ok/err");
+
+    Frame<Response> frame;
+    Response &response = frame.message;
+    if (tokens[1] == "ok")
+        response.ok = true;
+    else if (tokens[1] == "err")
+        response.ok = false;
+    else
+        bad("expected ok/err, got '" + tokens[1] + "'");
+
+    for (auto &[key, value] : parseFields(tokens, 2)) {
+        if (key == "payload") {
+            frame.payloadBytes = parsePayloadBytes(value);
+            frame.hasPayload = true;
+            response.hasPayload = true;
+        } else {
+            response.fields.emplace_back(std::move(key), std::move(value));
+        }
+    }
+    if (!response.ok) {
+        if (response.find("kind") == nullptr ||
+            response.find("code") == nullptr)
+            bad("err response missing kind/code");
+        parseSigned("code", *response.find("code"), 100, 599);
+    }
+    return frame;
+}
+
+namespace {
+
+/**
+ * Split a complete frame into its header line and payload, enforcing
+ * the exact length-prefixed layout (trailing '\n' included, no junk).
+ */
+template <typename T>
+T
+parseFrame(const std::string &bytes,
+           Frame<T> (*parseHeader)(const std::string &),
+           std::string T::*payloadMember)
+{
+    const size_t nl = bytes.find('\n');
+    if (nl == std::string::npos)
+        bad("missing header terminator");
+    Frame<T> frame = parseHeader(bytes.substr(0, nl));
+    const std::string rest = bytes.substr(nl + 1);
+    if (!frame.hasPayload) {
+        if (!rest.empty())
+            bad("trailing bytes after header");
+        return std::move(frame.message);
+    }
+    if (rest.size() != frame.payloadBytes + 1)
+        bad("payload length mismatch (promised " +
+            std::to_string(frame.payloadBytes) + ", got " +
+            std::to_string(rest.empty() ? 0 : rest.size() - 1) + ")");
+    if (rest.back() != '\n')
+        bad("missing payload terminator");
+    frame.message.*payloadMember = rest.substr(0, frame.payloadBytes);
+    return std::move(frame.message);
+}
+
+}  // namespace
+
+Request
+parseRequest(const std::string &bytes)
+{
+    return parseFrame<Request>(bytes, parseRequestHeader, &Request::qasm);
+}
+
+Response
+parseResponse(const std::string &bytes)
+{
+    Response r =
+        parseFrame<Response>(bytes, parseResponseHeader, &Response::payload);
+    return r;
+}
+
+}  // namespace service
+}  // namespace geyser

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The geyserd wire protocol, version 1: a line-framed, length-prefixed
+ * text protocol small enough to speak from a shell script or a
+ * ten-line Python client, strict enough to fuzz.
+ *
+ * One request is a single header line
+ *
+ *   geyser/1 <verb> [key=value ...][ payload=<N>]\n
+ *   [<N raw payload bytes>\n]
+ *
+ * and one response mirrors it
+ *
+ *   geyser/1 ok [key=value ...][ payload=<N>]\n[<N bytes>\n]
+ *   geyser/1 err kind=<kind> code=<http-class code> payload=<N>\n<msg>\n
+ *
+ * Free-form text (QASM programs, compiled circuits, error messages)
+ * always travels as a length-prefixed payload, never inside the header
+ * line, so nothing ever needs escaping and binary garbage cannot
+ * desynchronise the stream. Header parsing is an untrusted-input
+ * boundary in the PR-5 sense: every malformed header throws ParseError
+ * (wrong magic or version, unknown verb, unknown/duplicate/misplaced
+ * keys, bad numbers, oversize header or payload), which the server
+ * renders as a structured `err` reply.
+ *
+ * Versioning: kProtocolVersion names the grammar; golden byte
+ * transcripts under tests/service/golden pin it, so any wire-format
+ * drift is a deliberate, reviewed change. The `ping` reply additionally
+ * carries kPipelineVersion so clients can tell when cached results
+ * will differ across daemon builds.
+ */
+#ifndef GEYSER_SERVICE_PROTOCOL_HPP
+#define GEYSER_SERVICE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geyser/pipeline.hpp"
+
+namespace geyser {
+namespace service {
+
+/** Wire-grammar version; bump on any framing/field change. */
+inline constexpr int kProtocolVersion = 1;
+
+/** Header lines longer than this are rejected before parsing. */
+inline constexpr size_t kMaxHeaderBytes = 4096;
+
+/** Hard cap on any length-prefixed payload (QASM in, circuit out). */
+inline constexpr size_t kMaxPayloadBytes = 4u << 20;
+
+/** Everything a client can ask the daemon to do. */
+enum class Verb { Submit, Status, Result, Cancel, Ping, Stats, Shutdown };
+
+/** Wire token of a verb ("submit", "status", ...). */
+const char *verbName(Verb verb);
+
+/** Wire token of a technique ("baseline", "optimap", ...). */
+const char *wireTechniqueName(Technique technique);
+
+/** Output format of a compiled-circuit payload. */
+enum class ResultFormat { Qasm, Text };
+
+/** A parsed (and therefore well-formed) request. */
+struct Request
+{
+    Verb verb = Verb::Ping;
+    // Submit fields.
+    Technique technique = Technique::Geyser;
+    ResultFormat format = ResultFormat::Qasm;
+    int priority = 0;       ///< Higher runs sooner; FIFO within a level.
+    long deadlineMs = 0;    ///< Per-job deadline from submit time; 0 = none.
+    bool useCache = true;   ///< Serve/store through the persistent cache.
+    std::string qasm;       ///< Submit payload (OpenQASM 2.0).
+    // Status / result / cancel field.
+    uint64_t id = 0;
+};
+
+/**
+ * A response: `ok` with ordered key=value fields and an optional
+ * payload, or `err` with a wire kind, an HTTP-class code, and the
+ * message as payload.
+ */
+struct Response
+{
+    bool ok = true;
+    std::vector<std::pair<std::string, std::string>> fields;
+    bool hasPayload = false;
+    std::string payload;
+
+    /** Append a field (keys/values must be header-token safe). */
+    void set(const std::string &key, const std::string &value);
+    /** First value for `key`; nullptr if absent. */
+    const std::string *find(const std::string &key) const;
+
+    /** Build an error response from a wire kind + code + message. */
+    static Response error(const std::string &kind, int code,
+                          const std::string &message);
+};
+
+/** Wire token for a taxonomy kind ("parse", "validation", ...). */
+const char *wireErrorKind(ErrorKind kind);
+
+/** HTTP-class code for a taxonomy kind (400/408/410/500). */
+int wireErrorCode(ErrorKind kind);
+
+// Wire-only error kinds (no taxonomy exception maps to them).
+inline constexpr const char *kErrNotFound = "not_found";     ///< 404
+inline constexpr const char *kErrNotReady = "not_ready";     ///< 409
+inline constexpr const char *kErrUnavailable = "unavailable";///< 503
+
+/** Serialize a request to its exact wire bytes. */
+std::string encodeRequest(const Request &request);
+
+/** Serialize a response to its exact wire bytes. */
+std::string encodeResponse(const Response &response);
+
+/** A parsed header line plus the payload bytes still to be read. */
+template <typename T> struct Frame
+{
+    T message;
+    size_t payloadBytes = 0;
+    bool hasPayload = false;
+};
+
+/**
+ * Parse one request header line (without its trailing '\n'). Throws
+ * ParseError on any malformed input. When the result's payloadBytes is
+ * nonzero, the caller must read exactly that many payload bytes plus a
+ * trailing '\n' and attach them (Request::qasm).
+ */
+Frame<Request> parseRequestHeader(const std::string &line);
+
+/** Parse one response header line; same contract as requests. */
+Frame<Response> parseResponseHeader(const std::string &line);
+
+/** Parse a complete request frame (header + payload) from raw bytes. */
+Request parseRequest(const std::string &bytes);
+
+/** Parse a complete response frame from raw bytes. */
+Response parseResponse(const std::string &bytes);
+
+}  // namespace service
+}  // namespace geyser
+
+#endif  // GEYSER_SERVICE_PROTOCOL_HPP

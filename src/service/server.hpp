@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The geyserd socket front end: accepts connections on loopback TCP or
+ * a Unix-domain socket, reads line-framed protocol requests, dispatches
+ * them to a CompileService, and writes structured replies.
+ *
+ * Error policy at the wire: a malformed header or payload framing is a
+ * ParseError → `err kind=parse code=400` reply, after which the
+ * connection is closed (the stream cannot be resynchronised once a
+ * length prefix is untrusted). Semantic failures (bad QASM, unknown
+ * job, queue full) are structured error replies on a connection that
+ * stays open. InternalError — a bug in this daemon — is a 500-class
+ * reply, never a crash: every connection thread is exception-proof.
+ *
+ * Threading: one accept thread plus one thread per connection — a
+ * deliberate simplicity trade-off for a compile service whose jobs run
+ * for seconds-to-hours (DESIGN.md §11 discusses the epoll follow-up).
+ */
+#ifndef GEYSER_SERVICE_SERVER_HPP
+#define GEYSER_SERVICE_SERVER_HPP
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/socket_io.hpp"
+
+namespace geyser {
+namespace service {
+
+class CompileService;
+
+struct ServerConfig
+{
+    /** Nonempty: serve on this Unix-domain socket path. */
+    std::string unixPath;
+    /** Else loopback TCP on this port (0 picks an ephemeral one). */
+    int tcpPort = 0;
+    int backlog = 64;
+    /**
+     * Invoked (once) after a `shutdown` request has been acknowledged.
+     * Called from a connection thread — it must signal the owner to
+     * call stop() rather than call stop() itself (stop() joins that
+     * very thread).
+     */
+    std::function<void()> onShutdownRequest;
+};
+
+class SocketServer
+{
+  public:
+    SocketServer(CompileService &service, ServerConfig config);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** Bind and start accepting; throws IoError if the bind fails. */
+    void start();
+
+    /** Close the listener and every connection; joins all threads. */
+    void stop();
+
+    /** Bound TCP port (0 when serving a Unix socket). */
+    int port() const { return port_; }
+
+    /** One-request dispatch, exposed for in-process tests. */
+    Response handle(const Request &request, bool *closeConnection);
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    CompileService &service_;
+    ServerConfig config_;
+    Fd listener_;
+    int port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdownPending_{false};
+    std::atomic<bool> shutdownSignalled_{false};
+    std::thread acceptThread_;
+    std::mutex connMutex_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_;
+};
+
+}  // namespace service
+}  // namespace geyser
+
+#endif  // GEYSER_SERVICE_SERVER_HPP

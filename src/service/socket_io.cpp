@@ -1,0 +1,214 @@
+#include "service/socket_io.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace geyser {
+namespace service {
+
+namespace {
+
+[[noreturn]] void
+ioFail(const std::string &where, const std::string &what)
+{
+    SourceContext ctx;
+    ctx.source = where;
+    throw IoError(ctx, what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Fd &
+Fd::operator=(Fd &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Fd::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+Fd::release()
+{
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+bool
+SocketReader::fill()
+{
+    char chunk[4096];
+    ssize_t n;
+    do {
+        n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0)
+        ioFail("socket", "recv failed");
+    if (n == 0)
+        return false;
+    // Compact consumed bytes occasionally so the buffer stays bounded.
+    if (pos_ > 0 && pos_ == buffer_.size()) {
+        buffer_.clear();
+        pos_ = 0;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+}
+
+std::optional<std::string>
+SocketReader::readLine(size_t maxBytes)
+{
+    for (;;) {
+        const size_t nl = buffer_.find('\n', pos_);
+        if (nl != std::string::npos) {
+            if (nl - pos_ > maxBytes)
+                ioFail("socket", "header line exceeds " +
+                                     std::to_string(maxBytes) + " bytes");
+            std::string line = buffer_.substr(pos_, nl - pos_);
+            pos_ = nl + 1;
+            return line;
+        }
+        if (buffer_.size() - pos_ > maxBytes)
+            ioFail("socket", "header line exceeds " +
+                                 std::to_string(maxBytes) + " bytes");
+        if (!fill()) {
+            if (pos_ == buffer_.size())
+                return std::nullopt;  // Clean EOF between frames.
+            ioFail("socket", "connection closed mid-line");
+        }
+    }
+}
+
+std::string
+SocketReader::readExact(size_t n)
+{
+    while (buffer_.size() - pos_ < n)
+        if (!fill())
+            ioFail("socket", "connection closed mid-payload");
+    std::string bytes = buffer_.substr(pos_, n);
+    pos_ += n;
+    return bytes;
+}
+
+void
+writeAll(int fd, const std::string &bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ioFail("socket", "send failed");
+        }
+        sent += static_cast<size_t>(n);
+    }
+}
+
+Fd
+listenTcp(int port, int backlog, int *boundPort)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        ioFail("tcp", "socket failed");
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        ioFail("tcp", "bind to 127.0.0.1:" + std::to_string(port) +
+                          " failed");
+    if (::listen(fd.get(), backlog) != 0)
+        ioFail("tcp", "listen failed");
+    if (boundPort != nullptr) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0)
+            ioFail("tcp", "getsockname failed");
+        *boundPort = ntohs(bound.sin_port);
+    }
+    return fd;
+}
+
+Fd
+listenUnix(const std::string &path, int backlog)
+{
+    sockaddr_un addr{};
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        throw IoError("unix socket path unusable: '" + path + "'");
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        ioFail(path, "socket failed");
+    ::unlink(path.c_str());  // A stale socket file blocks bind.
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        ioFail(path, "bind failed");
+    if (::listen(fd.get(), backlog) != 0)
+        ioFail(path, "listen failed");
+    return fd;
+}
+
+Fd
+connectTcp(int port)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        ioFail("tcp", "socket failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        ioFail("tcp", "connect to 127.0.0.1:" + std::to_string(port) +
+                          " failed");
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        throw IoError("unix socket path unusable: '" + path + "'");
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        ioFail(path, "socket failed");
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        ioFail(path, "connect failed");
+    return fd;
+}
+
+}  // namespace service
+}  // namespace geyser

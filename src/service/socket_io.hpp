@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Small POSIX socket helpers shared by the geyserd server loop and the
+ * in-process client: an owning fd wrapper, buffered line/exact reads
+ * (the wire protocol's two read shapes), SIGPIPE-proof whole-buffer
+ * writes, and listen/connect constructors for loopback TCP and Unix
+ * sockets. All failures throw IoError with the address as context.
+ */
+#ifndef GEYSER_SERVICE_SOCKET_IO_HPP
+#define GEYSER_SERVICE_SOCKET_IO_HPP
+
+#include <optional>
+#include <string>
+
+namespace geyser {
+namespace service {
+
+/** Owning file descriptor (closes on destruction; movable). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { close(); }
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &operator=(Fd &&other) noexcept;
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    void close();
+    int release();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Buffered reader over a socket: readLine() returns one '\n'-terminated
+ * line without the terminator (nullopt on orderly EOF at a frame
+ * boundary, IoError on EOF mid-line, overlong lines, or socket errors);
+ * readExact() returns exactly n bytes.
+ */
+class SocketReader
+{
+  public:
+    explicit SocketReader(int fd) : fd_(fd) {}
+
+    std::optional<std::string> readLine(size_t maxBytes);
+    std::string readExact(size_t n);
+
+  private:
+    bool fill();  ///< One recv(); false on EOF.
+
+    int fd_;
+    std::string buffer_;
+    size_t pos_ = 0;
+};
+
+/** Write the whole buffer (MSG_NOSIGNAL); throws IoError on failure. */
+void writeAll(int fd, const std::string &bytes);
+
+/**
+ * Listening socket on 127.0.0.1:`port` (0 picks an ephemeral port;
+ * `boundPort` reports the actual one).
+ */
+Fd listenTcp(int port, int backlog, int *boundPort);
+
+/** Listening Unix-domain socket at `path` (unlinks a stale file). */
+Fd listenUnix(const std::string &path, int backlog);
+
+/** Connect to 127.0.0.1:`port`. */
+Fd connectTcp(int port);
+
+/** Connect to the Unix-domain socket at `path`. */
+Fd connectUnix(const std::string &path);
+
+}  // namespace service
+}  // namespace geyser
+
+#endif  // GEYSER_SERVICE_SOCKET_IO_HPP

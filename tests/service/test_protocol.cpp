@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Wire-protocol unit tests: canonical encoding, strict parsing, and the
+ * ParseError boundary for every malformed-header class the grammar
+ * rejects. Golden byte transcripts live in test_protocol_golden.cpp.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "service/protocol.hpp"
+
+using namespace geyser;
+using namespace geyser::service;
+
+namespace {
+
+const char kGhz[] =
+    "OPENQASM 2.0;\n"
+    "include \"qelib1.inc\";\n"
+    "qreg q[3];\n"
+    "h q[0];\n"
+    "cx q[0],q[1];\n"
+    "cx q[1],q[2];\n";
+
+}  // namespace
+
+TEST(Protocol, SubmitRoundTripsThroughEncodeParse)
+{
+    Request request;
+    request.verb = Verb::Submit;
+    request.technique = Technique::OptiMap;
+    request.format = ResultFormat::Text;
+    request.priority = -3;
+    request.deadlineMs = 2500;
+    request.useCache = false;
+    request.qasm = kGhz;
+
+    const Request parsed = parseRequest(encodeRequest(request));
+    EXPECT_EQ(parsed.verb, Verb::Submit);
+    EXPECT_EQ(parsed.technique, Technique::OptiMap);
+    EXPECT_EQ(parsed.format, ResultFormat::Text);
+    EXPECT_EQ(parsed.priority, -3);
+    EXPECT_EQ(parsed.deadlineMs, 2500);
+    EXPECT_FALSE(parsed.useCache);
+    EXPECT_EQ(parsed.qasm, kGhz);
+}
+
+TEST(Protocol, ControlVerbsRoundTrip)
+{
+    for (const Verb verb : {Verb::Status, Verb::Result, Verb::Cancel}) {
+        Request request;
+        request.verb = verb;
+        request.id = 1234567890123ull;
+        const Request parsed = parseRequest(encodeRequest(request));
+        EXPECT_EQ(parsed.verb, verb);
+        EXPECT_EQ(parsed.id, 1234567890123ull);
+    }
+    for (const Verb verb : {Verb::Ping, Verb::Stats, Verb::Shutdown}) {
+        Request request;
+        request.verb = verb;
+        EXPECT_EQ(parseRequest(encodeRequest(request)).verb, verb);
+    }
+}
+
+TEST(Protocol, SubmitEncodingIsCanonical)
+{
+    // Every field, fixed order, defaults included: identical requests
+    // must be identical bytes (the cache and the goldens rely on it).
+    Request request;
+    request.verb = Verb::Submit;
+    request.qasm = "x";
+    EXPECT_EQ(encodeRequest(request),
+              "geyser/1 submit technique=geyser format=qasm priority=0 "
+              "deadline_ms=0 cache=on payload=1\nx\n");
+}
+
+TEST(Protocol, ResponseRoundTripsWithPayload)
+{
+    Response response;
+    response.set("id", "7");
+    response.set("state", "done");
+    response.hasPayload = true;
+    response.payload = "compiled bytes\nwith a newline";
+
+    const Response parsed = parseResponse(encodeResponse(response));
+    EXPECT_TRUE(parsed.ok);
+    ASSERT_NE(parsed.find("id"), nullptr);
+    EXPECT_EQ(*parsed.find("id"), "7");
+    ASSERT_NE(parsed.find("state"), nullptr);
+    EXPECT_EQ(*parsed.find("state"), "done");
+    EXPECT_EQ(parsed.payload, "compiled bytes\nwith a newline");
+    EXPECT_EQ(parsed.find("missing"), nullptr);
+}
+
+TEST(Protocol, ErrorResponseRoundTrips)
+{
+    const Response parsed = parseResponse(
+        encodeResponse(Response::error("validation", 400, "bad circuit")));
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_EQ(*parsed.find("kind"), "validation");
+    EXPECT_EQ(*parsed.find("code"), "400");
+    EXPECT_EQ(parsed.payload, "bad circuit");
+}
+
+TEST(Protocol, RejectsBadMagic)
+{
+    EXPECT_THROW(parseRequestHeader("nonsense ping"), ParseError);
+    EXPECT_THROW(parseRequestHeader(""), ParseError);
+}
+
+TEST(Protocol, RejectsUnsupportedVersion)
+{
+    try {
+        parseRequestHeader("geyser/2 ping");
+        FAIL() << "version 2 accepted";
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+}
+
+TEST(Protocol, RejectsUnknownVerb)
+{
+    EXPECT_THROW(parseRequestHeader("geyser/1 frobnicate"), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1"), ParseError);
+}
+
+TEST(Protocol, RejectsUnknownAndMisplacedFields)
+{
+    EXPECT_THROW(parseRequestHeader("geyser/1 submit bogus=1 payload=0"),
+                 ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 status id=1 extra=2"),
+                 ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 ping x=1"), ParseError);
+}
+
+TEST(Protocol, RejectsDuplicateFields)
+{
+    EXPECT_THROW(
+        parseRequestHeader("geyser/1 submit payload=1 payload=1"),
+        ParseError);
+}
+
+TEST(Protocol, RejectsMissingRequiredFields)
+{
+    EXPECT_THROW(parseRequestHeader("geyser/1 submit technique=geyser"),
+                 ParseError);  // No payload.
+    EXPECT_THROW(parseRequestHeader("geyser/1 status"), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 result"), ParseError);
+}
+
+TEST(Protocol, RejectsBadNumbers)
+{
+    EXPECT_THROW(parseRequestHeader("geyser/1 status id=abc"), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 status id=-1"), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 status id=1x"), ParseError);
+    EXPECT_THROW(
+        parseRequestHeader("geyser/1 submit deadline_ms=-5 payload=0"),
+        ParseError);
+    EXPECT_THROW(
+        parseRequestHeader("geyser/1 submit priority=9999999 payload=0"),
+        ParseError);
+}
+
+TEST(Protocol, RejectsOversizePayloadDeclaration)
+{
+    const std::string line = "geyser/1 submit payload=" +
+                             std::to_string(kMaxPayloadBytes + 1);
+    EXPECT_THROW(parseRequestHeader(line), ParseError);
+    // The cap itself is accepted.
+    const std::string atCap =
+        "geyser/1 submit payload=" + std::to_string(kMaxPayloadBytes);
+    EXPECT_EQ(parseRequestHeader(atCap).payloadBytes, kMaxPayloadBytes);
+}
+
+TEST(Protocol, RejectsMalformedTokens)
+{
+    EXPECT_THROW(parseRequestHeader("geyser/1  ping"), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 ping "), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 status id"), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 status =1"), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 status Id=1"), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 ping\r"), ParseError);
+}
+
+TEST(Protocol, RejectsOversizeHeader)
+{
+    std::string line = "geyser/1 submit payload=0 ";
+    line.append(kMaxHeaderBytes, 'x');
+    EXPECT_THROW(parseRequestHeader(line), ParseError);
+}
+
+TEST(Protocol, RejectsBadTechniqueFormatCache)
+{
+    EXPECT_THROW(
+        parseRequestHeader("geyser/1 submit technique=warp payload=0"),
+        ParseError);
+    EXPECT_THROW(
+        parseRequestHeader("geyser/1 submit format=xml payload=0"),
+        ParseError);
+    EXPECT_THROW(
+        parseRequestHeader("geyser/1 submit cache=maybe payload=0"),
+        ParseError);
+}
+
+TEST(Protocol, RejectsFramePayloadMismatch)
+{
+    EXPECT_THROW(parseRequest("geyser/1 submit payload=5\nabc\n"),
+                 ParseError);  // Promised 5, delivered 3.
+    EXPECT_THROW(parseRequest("geyser/1 submit payload=3\nabc"),
+                 ParseError);  // Missing terminator.
+    EXPECT_THROW(parseRequest("geyser/1 ping\njunk"), ParseError);
+    EXPECT_THROW(parseRequest("geyser/1 ping"), ParseError);  // No '\n'.
+}
+
+TEST(Protocol, PayloadMayContainAnything)
+{
+    // Length-prefixed framing: payload bytes are never interpreted.
+    Request request;
+    request.verb = Verb::Submit;
+    request.qasm = "geyser/1 shutdown\n\r\n=== binary \x01\x02";
+    EXPECT_EQ(parseRequest(encodeRequest(request)).qasm, request.qasm);
+}
+
+TEST(Protocol, ErrResponseRequiresKindAndCode)
+{
+    EXPECT_THROW(parseResponse("geyser/1 err\n"), ParseError);
+    EXPECT_THROW(parseResponse("geyser/1 err kind=parse\n"), ParseError);
+    EXPECT_THROW(parseResponse("geyser/1 err kind=parse code=9999\n"),
+                 ParseError);
+    EXPECT_NO_THROW(parseResponse("geyser/1 err kind=parse code=400\n"));
+}
+
+TEST(Protocol, EncodeResponseRejectsUnencodableFields)
+{
+    Response response;
+    response.set("key", "has space");
+    EXPECT_THROW(encodeResponse(response), InternalError);
+    Response reserved;
+    reserved.set("payload", "7");
+    EXPECT_THROW(encodeResponse(reserved), InternalError);
+}
+
+TEST(Protocol, WireErrorMappingCoversTaxonomy)
+{
+    EXPECT_STREQ(wireErrorKind(ErrorKind::Parse), "parse");
+    EXPECT_STREQ(wireErrorKind(ErrorKind::Validation), "validation");
+    EXPECT_STREQ(wireErrorKind(ErrorKind::Cancelled), "cancelled");
+    EXPECT_STREQ(wireErrorKind(ErrorKind::Deadline), "deadline");
+    EXPECT_EQ(wireErrorCode(ErrorKind::Parse), 400);
+    EXPECT_EQ(wireErrorCode(ErrorKind::Deadline), 408);
+    EXPECT_EQ(wireErrorCode(ErrorKind::Cancelled), 410);
+    EXPECT_EQ(wireErrorCode(ErrorKind::Internal), 500);
+}

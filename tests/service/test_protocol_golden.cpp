@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Golden byte-transcript tests: checked-in request/response frames
+ * (tests/service/golden/protocol_v1.txt) must parse, and re-encoding
+ * the parsed message must reproduce the exact original bytes. Any wire
+ * drift — field order, spacing, framing, version token — fails here
+ * and therefore becomes a deliberate, reviewed golden-file change.
+ *
+ * Transcript format: records of
+ *   === <name> <request|response> <nbytes>\n
+ * followed by exactly <nbytes> raw frame bytes.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+using namespace geyser;
+using namespace geyser::service;
+
+namespace {
+
+struct GoldenRecord
+{
+    std::string name;
+    bool isRequest = false;
+    std::string bytes;
+};
+
+std::vector<GoldenRecord>
+loadGolden(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    std::vector<GoldenRecord> records;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        const size_t nl = text.find('\n', pos);
+        EXPECT_NE(nl, std::string::npos) << "truncated record header";
+        std::istringstream header(text.substr(pos, nl - pos));
+        std::string marker, name, kind;
+        size_t nbytes = 0;
+        header >> marker >> name >> kind >> nbytes;
+        EXPECT_EQ(marker, "===") << "bad record header at byte " << pos;
+        EXPECT_TRUE(kind == "request" || kind == "response") << name;
+        EXPECT_LE(nl + 1 + nbytes, text.size()) << name << " truncated";
+        GoldenRecord record;
+        record.name = name;
+        record.isRequest = kind == "request";
+        record.bytes = text.substr(nl + 1, nbytes);
+        records.push_back(std::move(record));
+        pos = nl + 1 + nbytes;
+    }
+    return records;
+}
+
+std::string
+goldenPath()
+{
+    return std::string(GEYSER_SERVICE_GOLDEN_DIR) + "/protocol_v1.txt";
+}
+
+}  // namespace
+
+TEST(ProtocolGolden, TranscriptIsNonTrivial)
+{
+    const auto records = loadGolden(goldenPath());
+    EXPECT_GE(records.size(), 12u);
+}
+
+TEST(ProtocolGolden, EveryFrameParsesAndReEncodesByteExact)
+{
+    for (const GoldenRecord &record : loadGolden(goldenPath())) {
+        SCOPED_TRACE(record.name);
+        if (record.isRequest) {
+            Request parsed;
+            ASSERT_NO_THROW(parsed = parseRequest(record.bytes));
+            EXPECT_EQ(encodeRequest(parsed), record.bytes);
+        } else {
+            Response parsed;
+            ASSERT_NO_THROW(parsed = parseResponse(record.bytes));
+            EXPECT_EQ(encodeResponse(parsed), record.bytes);
+        }
+    }
+}
+
+TEST(ProtocolGolden, MagicTokenIsPinnedToVersionOne)
+{
+    // The transcript file pins grammar v1; if kProtocolVersion moves,
+    // a new golden file must be cut alongside it.
+    EXPECT_EQ(kProtocolVersion, 1);
+    for (const GoldenRecord &record : loadGolden(goldenPath()))
+        EXPECT_EQ(record.bytes.rfind("geyser/1 ", 0), 0u) << record.name;
+}

@@ -1,0 +1,616 @@
+/**
+ * @file
+ * End-to-end tests for the compile service: in-process CompileService
+ * round trips (submit/poll/fetch, error-kind assertions for invalid
+ * QASM, deadline expiry, cancellation mid-compile, warm-cache
+ * resubmission) and full socket round trips through SocketServer +
+ * ServiceClient, including malformed-frame and shutdown handling.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+
+#include "algos/suite.hpp"
+#include "cache/result_cache.hpp"
+#include "common/error.hpp"
+#include "io/serialize.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+using namespace geyser;
+using namespace geyser::service;
+
+namespace {
+
+/** QASM text of a built-in benchmark (multiplier-5 ≈ 2 ms, adder-4 ≈ 250 ms). */
+std::string
+qasmFor(const std::string &benchmark)
+{
+    return circuitToQasm(benchmarkByName(benchmark).make());
+}
+
+JobSpec
+specFor(const std::string &benchmark)
+{
+    JobSpec spec;
+    spec.qasm = qasmFor(benchmark);
+    spec.useCache = false;
+    return spec;
+}
+
+/** Poll until the job reaches a terminal state (fails the test if it
+ *  never does within `budget`). */
+JobInfo
+waitTerminal(CompileService &service, uint64_t id,
+             std::chrono::milliseconds budget = std::chrono::seconds(120))
+{
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    for (;;) {
+        const auto info = service.status(id);
+        if (!info) {
+            ADD_FAILURE() << "job " << id << " vanished while waiting";
+            return JobInfo{};
+        }
+        if (jobStateTerminal(info->state))
+            return *info;
+        if (std::chrono::steady_clock::now() > deadline) {
+            ADD_FAILURE() << "job " << id << " stuck in "
+                          << jobStateName(info->state);
+            return *info;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+std::string
+tempDir(const char *tag)
+{
+    std::string pattern =
+        ::testing::TempDir() + "geyser_svc_" + tag + "_XXXXXX";
+    EXPECT_NE(::mkdtemp(pattern.data()), nullptr);
+    return pattern;
+}
+
+}  // namespace
+
+TEST(JobQueue, OrdersByPriorityThenFifo)
+{
+    JobQueue queue;
+    EXPECT_TRUE(queue.push(1, 0));
+    EXPECT_TRUE(queue.push(2, 5));
+    EXPECT_TRUE(queue.push(3, 0));
+    EXPECT_TRUE(queue.push(4, 5));
+    EXPECT_TRUE(queue.push(5, -1));
+    EXPECT_EQ(queue.size(), 5u);
+    const uint64_t expected[] = {2, 4, 1, 3, 5};
+    for (const uint64_t id : expected) {
+        const auto item = queue.tryPop();
+        ASSERT_TRUE(item.has_value());
+        EXPECT_EQ(item->id, id);
+    }
+    EXPECT_FALSE(queue.tryPop().has_value());
+}
+
+TEST(JobQueue, CloseDropsPendingAndRejectsPushes)
+{
+    JobQueue queue;
+    queue.push(1, 0);
+    queue.close();
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_FALSE(queue.tryPop().has_value());
+    EXPECT_FALSE(queue.push(2, 0));
+    EXPECT_TRUE(queue.closed());
+}
+
+TEST(CompileService, SubmitCompileFetch)
+{
+    ServiceConfig config;
+    config.workers = 2;
+    CompileService service(config);
+
+    const uint64_t id = service.submit(specFor("multiplier-5"));
+    const JobInfo info = waitTerminal(service, id);
+    EXPECT_EQ(info.state, JobState::Done);
+    EXPECT_GT(info.totalMs, 0.0);
+    EXPECT_GT(info.u3Count + info.czCount + info.cczCount, 0);
+    EXPECT_FALSE(info.cacheHit);
+
+    const FetchResult fetch = service.result(id);
+    EXPECT_EQ(fetch.status, FetchStatus::Ready);
+    EXPECT_NE(fetch.payload.find("OPENQASM"), std::string::npos);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 1);
+    EXPECT_EQ(stats.done, 1);
+    EXPECT_EQ(stats.queued, 0);
+    EXPECT_EQ(stats.running, 0);
+    EXPECT_EQ(service.poolStats().exceptions, 0);
+}
+
+TEST(CompileService, TextFormatRendersNativeCircuit)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    CompileService service(config);
+    JobSpec spec = specFor("multiplier-5");
+    spec.format = ResultFormat::Text;
+    const uint64_t id = service.submit(spec);
+    EXPECT_EQ(waitTerminal(service, id).state, JobState::Done);
+    const FetchResult fetch = service.result(id);
+    ASSERT_EQ(fetch.status, FetchStatus::Ready);
+    EXPECT_EQ(fetch.payload.find("OPENQASM"), std::string::npos);
+    EXPECT_FALSE(fetch.payload.empty());
+}
+
+TEST(CompileService, RejectsInvalidQasmAtTheBoundary)
+{
+    ServiceConfig config;
+    config.workers = 0;  // Any accepted job would freeze in the queue.
+    CompileService service(config);
+
+    JobSpec garbage;
+    garbage.qasm = "this is not qasm";
+    EXPECT_THROW(service.submit(garbage), ParseError);
+
+    JobSpec dupOperand;
+    dupOperand.qasm =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+        "qreg q[2];\ncx q[0],q[0];\n";
+    EXPECT_THROW(service.submit(dupOperand), ParseError);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 0);
+    EXPECT_EQ(stats.rejected, 2);
+    EXPECT_EQ(stats.queued, 0);  // Nothing entered the queue.
+}
+
+TEST(CompileService, RejectsOversizeQasm)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    config.maxQasmBytes = 16;
+    CompileService service(config);
+    EXPECT_THROW(service.submit(specFor("multiplier-5")), ValidationError);
+}
+
+TEST(CompileService, StatusAndResultOfUnknownId)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    CompileService service(config);
+    EXPECT_FALSE(service.status(99).has_value());
+    EXPECT_EQ(service.result(99).status, FetchStatus::NotFound);
+    EXPECT_EQ(service.cancel(99), CancelOutcome::NotFound);
+}
+
+TEST(CompileService, ResultNotReadyWhileQueued)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    CompileService service(config);
+    const uint64_t id = service.submit(specFor("multiplier-5"));
+    EXPECT_EQ(service.result(id).status, FetchStatus::NotReady);
+    const auto info = service.status(id);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->state, JobState::Queued);
+}
+
+TEST(CompileService, CancelQueuedJobIsImmediate)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    CompileService service(config);
+    const uint64_t id = service.submit(specFor("multiplier-5"));
+    EXPECT_EQ(service.cancel(id), CancelOutcome::Cancelled);
+
+    const auto info = service.status(id);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->state, JobState::Cancelled);
+
+    const FetchResult fetch = service.result(id);
+    EXPECT_EQ(fetch.status, FetchStatus::Failed);
+    EXPECT_EQ(fetch.info.errorKind, ErrorKind::Cancelled);
+
+    EXPECT_EQ(service.cancel(id), CancelOutcome::AlreadyTerminal);
+    EXPECT_EQ(service.stats().cancelled, 1);
+}
+
+TEST(CompileService, QueuedDeadlineExpiresLazily)
+{
+    ServiceConfig config;
+    config.workers = 0;  // No worker will ever pick the job up.
+    CompileService service(config);
+    JobSpec spec = specFor("multiplier-5");
+    spec.deadlineMs = 1;
+    const uint64_t id = service.submit(spec);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    const auto info = service.status(id);  // Polling observes the expiry.
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->state, JobState::Expired);
+    EXPECT_EQ(info->errorKind, ErrorKind::Deadline);
+    EXPECT_EQ(service.stats().expired, 1);
+    EXPECT_EQ(service.result(id).status, FetchStatus::Failed);
+}
+
+TEST(CompileService, DeadlineExpiresMidCompile)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    CompileService service(config);
+    JobSpec spec = specFor("adder-4");  // ≈ 250 ms compile.
+    spec.deadlineMs = 40;
+    const uint64_t id = service.submit(spec);
+
+    const JobInfo info = waitTerminal(service, id);
+    EXPECT_EQ(info.state, JobState::Expired);
+    EXPECT_EQ(info.errorKind, ErrorKind::Deadline);
+    EXPECT_NE(info.errorMessage.find("deadline"), std::string::npos);
+    EXPECT_EQ(service.stats().expired, 1);
+    EXPECT_EQ(service.poolStats().exceptions, 0);
+}
+
+TEST(CompileService, CancelMidCompileUnwindsAtCheckpoint)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    CompileService service(config);
+    const uint64_t id = service.submit(specFor("adder-4"));
+
+    // Wait for a worker to pick it up, then cancel mid-flight.
+    const auto begin = std::chrono::steady_clock::now();
+    while (true) {
+        const auto info = service.status(id);
+        ASSERT_TRUE(info.has_value());
+        if (info->state != JobState::Queued)
+            break;
+        ASSERT_LT(std::chrono::steady_clock::now() - begin,
+                  std::chrono::seconds(60));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    service.cancel(id);
+
+    const JobInfo info = waitTerminal(service, id);
+    EXPECT_EQ(info.state, JobState::Cancelled);
+    EXPECT_EQ(info.errorKind, ErrorKind::Cancelled);
+    EXPECT_NE(info.errorMessage.find("cancelled"), std::string::npos);
+    EXPECT_EQ(service.stats().cancelled, 1);
+    EXPECT_EQ(service.poolStats().exceptions, 0);
+
+    // The queue is not poisoned: the next job compiles normally.
+    const uint64_t next = service.submit(specFor("multiplier-5"));
+    EXPECT_EQ(waitTerminal(service, next).state, JobState::Done);
+}
+
+TEST(CompileService, WarmCacheResubmissionHitsWithoutRecompiling)
+{
+    const std::string dir = tempDir("warm");
+    cache::CacheConfig cacheConfig;
+    cacheConfig.dir = dir;
+    cache::ResultCache cache(cacheConfig);
+    ASSERT_TRUE(cache.enabled());
+
+    ServiceConfig config;
+    config.workers = 1;
+    config.cache = &cache;
+    CompileService service(config);
+
+    JobSpec spec = specFor("multiplier-5");
+    spec.useCache = true;
+    const uint64_t cold = service.submit(spec);
+    const JobInfo coldInfo = waitTerminal(service, cold);
+    EXPECT_EQ(coldInfo.state, JobState::Done);
+    EXPECT_FALSE(coldInfo.cacheHit);
+
+    const uint64_t warm = service.submit(spec);
+    const JobInfo warmInfo = waitTerminal(service, warm);
+    EXPECT_EQ(warmInfo.state, JobState::Done);
+    EXPECT_TRUE(warmInfo.cacheHit);
+
+    // Identical payloads, one compile: the second run replayed. (The
+    // cold compile may add block-spill misses on top of the pipeline
+    // miss when the process-wide compose memo is cold, so assert the
+    // floor, not an exact count.)
+    EXPECT_EQ(service.result(cold).payload, service.result(warm).payload);
+    const cache::CacheStats cs = cache.stats();
+    EXPECT_GE(cs.misses, 1);
+    EXPECT_GE(cs.hits, 1);
+    EXPECT_EQ(cs.corrupt, 0);
+    EXPECT_EQ(service.stats().cacheHits, 1);
+}
+
+TEST(CompileService, BackpressureThrowsUnavailable)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    config.maxQueuedJobs = 1;
+    CompileService service(config);
+    service.submit(specFor("multiplier-5"));
+    EXPECT_THROW(service.submit(specFor("multiplier-5")), UnavailableError);
+    EXPECT_EQ(service.stats().rejected, 1);
+}
+
+TEST(CompileService, SubmitAfterShutdownRejected)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    CompileService service(config);
+    service.shutdown(/*drain=*/true);
+    EXPECT_THROW(service.submit(specFor("multiplier-5")), UnavailableError);
+    service.shutdown(/*drain=*/false);  // Idempotent.
+}
+
+TEST(CompileService, ShutdownDrainFinishesQueuedJobs)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    CompileService service(config);
+    const uint64_t a = service.submit(specFor("multiplier-5"));
+    const uint64_t b = service.submit(specFor("advantage-9"));
+    const uint64_t c = service.submit(specFor("multiplier-5"));
+    service.shutdown(/*drain=*/true);
+    for (const uint64_t id : {a, b, c}) {
+        const auto info = service.status(id);
+        ASSERT_TRUE(info.has_value());
+        EXPECT_EQ(info->state, JobState::Done) << "job " << id;
+    }
+    EXPECT_EQ(service.stats().done, 3);
+}
+
+TEST(CompileService, AbortShutdownCancelsQueuedJobs)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    CompileService service(config);
+    const uint64_t a = service.submit(specFor("multiplier-5"));
+    const uint64_t b = service.submit(specFor("multiplier-5"));
+    service.shutdown(/*drain=*/false);
+    for (const uint64_t id : {a, b}) {
+        const auto info = service.status(id);
+        ASSERT_TRUE(info.has_value());
+        EXPECT_EQ(info->state, JobState::Cancelled);
+        EXPECT_EQ(info->errorKind, ErrorKind::Cancelled);
+    }
+}
+
+TEST(CompileService, RetentionDropsOldestTerminalRecords)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    config.maxRetainedJobs = 2;
+    CompileService service(config);
+    uint64_t ids[3];
+    for (uint64_t &id : ids) {
+        id = service.submit(specFor("multiplier-5"));
+        waitTerminal(service, id);
+    }
+    EXPECT_FALSE(service.status(ids[0]).has_value());  // Trimmed.
+    EXPECT_TRUE(service.status(ids[1]).has_value());
+    EXPECT_TRUE(service.status(ids[2]).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Socket round trips.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct TcpHarness
+{
+    explicit TcpHarness(ServiceConfig serviceConfig = {},
+                        ServerConfig serverConfig = {})
+        : service(std::move(serviceConfig)),
+          server(service, std::move(serverConfig))
+    {
+        server.start();
+    }
+
+    CompileService service;
+    SocketServer server;
+};
+
+}  // namespace
+
+TEST(SocketService, EndToEndOverTcp)
+{
+    ServiceConfig config;
+    config.workers = 2;
+    TcpHarness harness(config);
+    ServiceClient client = ServiceClient::overTcp(harness.server.port());
+
+    const Response pong = client.ping();
+    ASSERT_TRUE(pong.ok);
+    EXPECT_EQ(*pong.find("protocol"), std::to_string(kProtocolVersion));
+    EXPECT_EQ(*pong.find("pipeline"), std::to_string(kPipelineVersion));
+    EXPECT_EQ(*pong.find("workers"), "2");
+
+    const Response accepted =
+        client.submit(qasmFor("multiplier-5"), Technique::Geyser, 0, 0, false);
+    ASSERT_TRUE(accepted.ok);
+    EXPECT_EQ(*accepted.find("state"), "queued");
+    const uint64_t id = std::stoull(*accepted.find("id"));
+
+    const Response done = client.waitResult(id);
+    ASSERT_TRUE(done.ok);
+    EXPECT_EQ(*done.find("state"), "done");
+    EXPECT_EQ(*done.find("cache_hit"), "0");
+    EXPECT_NE(done.payload.find("OPENQASM"), std::string::npos);
+
+    Request statsReq;
+    statsReq.verb = Verb::Stats;
+    const Response stats = client.roundTrip(statsReq);
+    ASSERT_TRUE(stats.ok);
+    EXPECT_EQ(*stats.find("submitted"), "1");
+    EXPECT_EQ(*stats.find("done"), "1");
+    EXPECT_EQ(*stats.find("pool_exceptions"), "0");
+}
+
+TEST(SocketService, EndToEndOverUnixSocket)
+{
+    const std::string path = tempDir("unix") + "/geyserd.sock";
+    ServiceConfig serviceConfig;
+    serviceConfig.workers = 1;
+    ServerConfig serverConfig;
+    serverConfig.unixPath = path;
+    TcpHarness harness(serviceConfig, serverConfig);
+
+    ServiceClient client = ServiceClient::overUnix(path);
+    EXPECT_TRUE(client.ping().ok);
+    const Response accepted =
+        client.submit(qasmFor("advantage-9"), Technique::Baseline, 0, 0, false);
+    ASSERT_TRUE(accepted.ok);
+    const Response done =
+        client.waitResult(std::stoull(*accepted.find("id")));
+    ASSERT_TRUE(done.ok);
+    EXPECT_EQ(*done.find("technique"), "baseline");
+}
+
+TEST(SocketService, InvalidQasmIsStructuredErrorAndConnectionSurvives)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    TcpHarness harness(config);
+    ServiceClient client = ServiceClient::overTcp(harness.server.port());
+
+    const Response err = client.submit("not qasm", Technique::Geyser);
+    ASSERT_FALSE(err.ok);
+    EXPECT_EQ(*err.find("kind"), "parse");
+    EXPECT_EQ(*err.find("code"), "400");
+    EXPECT_FALSE(err.payload.empty());
+
+    // Semantic errors keep the connection usable.
+    EXPECT_TRUE(client.ping().ok);
+}
+
+TEST(SocketService, MalformedFrameRepliesThenClosesConnection)
+{
+    TcpHarness harness(ServiceConfig{});
+    Fd fd = connectTcp(harness.server.port());
+    writeAll(fd.get(), "geyser/1 frobnicate\n");
+    SocketReader reader(fd.get());
+    const auto line = reader.readLine(kMaxHeaderBytes);
+    ASSERT_TRUE(line.has_value());
+    const Frame<Response> frame = parseResponseHeader(*line);
+    EXPECT_FALSE(frame.message.ok);
+    EXPECT_EQ(*frame.message.find("kind"), "parse");
+    EXPECT_EQ(*frame.message.find("code"), "400");
+    reader.readExact(frame.payloadBytes + 1);
+    // After a framing error the server hangs up: clean EOF.
+    EXPECT_FALSE(reader.readLine(kMaxHeaderBytes).has_value());
+}
+
+TEST(SocketService, UnknownJobAndNotReadyOverWire)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    TcpHarness harness(config);
+    ServiceClient client = ServiceClient::overTcp(harness.server.port());
+
+    const Response missing = client.result(12345);
+    ASSERT_FALSE(missing.ok);
+    EXPECT_EQ(*missing.find("kind"), "not_found");
+    EXPECT_EQ(*missing.find("code"), "404");
+
+    const Response accepted =
+        client.submit(qasmFor("multiplier-5"), Technique::Geyser);
+    ASSERT_TRUE(accepted.ok);
+    const Response pending =
+        client.result(std::stoull(*accepted.find("id")));
+    ASSERT_FALSE(pending.ok);
+    EXPECT_EQ(*pending.find("kind"), "not_ready");
+    EXPECT_EQ(*pending.find("code"), "409");
+}
+
+TEST(SocketService, CancelOverWireReportsTerminalState)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    TcpHarness harness(config);
+    ServiceClient client = ServiceClient::overTcp(harness.server.port());
+
+    const Response accepted =
+        client.submit(qasmFor("multiplier-5"), Technique::Geyser);
+    ASSERT_TRUE(accepted.ok);
+    const uint64_t id = std::stoull(*accepted.find("id"));
+
+    const Response cancelled = client.cancel(id);
+    ASSERT_TRUE(cancelled.ok);
+    EXPECT_EQ(*cancelled.find("delivered"), "1");
+    EXPECT_EQ(*cancelled.find("state"), "cancelled");
+
+    const Response fetch = client.result(id);
+    ASSERT_FALSE(fetch.ok);
+    EXPECT_EQ(*fetch.find("state"), "cancelled");
+    EXPECT_EQ(*fetch.find("kind"), "cancelled");
+    EXPECT_EQ(*fetch.find("code"), "410");
+}
+
+TEST(SocketService, DeadlineExpiryOverWire)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    TcpHarness harness(config);
+    ServiceClient client = ServiceClient::overTcp(harness.server.port());
+
+    const Response accepted =
+        client.submit(qasmFor("adder-4"), Technique::Geyser, 0,
+                      /*deadlineMs=*/40, false);
+    ASSERT_TRUE(accepted.ok);
+    const Response expired =
+        client.waitResult(std::stoull(*accepted.find("id")));
+    ASSERT_FALSE(expired.ok);
+    EXPECT_EQ(*expired.find("state"), "expired");
+    EXPECT_EQ(*expired.find("kind"), "deadline");
+    EXPECT_EQ(*expired.find("code"), "408");
+    EXPECT_NE(expired.payload.find("deadline"), std::string::npos);
+}
+
+TEST(SocketService, ShutdownVerbSignalsOwnerAfterReply)
+{
+    std::promise<void> requested;
+    auto requestedFuture = requested.get_future();
+    ServerConfig serverConfig;
+    serverConfig.onShutdownRequest = [&requested] { requested.set_value(); };
+
+    ServiceConfig serviceConfig;
+    serviceConfig.workers = 0;
+    TcpHarness harness(serviceConfig, serverConfig);
+    ServiceClient client = ServiceClient::overTcp(harness.server.port());
+
+    Request shutdownReq;
+    shutdownReq.verb = Verb::Shutdown;
+    const Response ack = client.roundTrip(shutdownReq);
+    ASSERT_TRUE(ack.ok);
+    EXPECT_EQ(*ack.find("stopping"), "1");
+
+    // The owner callback fires (after the reply), and the daemon-side
+    // connection closes; the owner then tears the server down.
+    ASSERT_EQ(requestedFuture.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    harness.server.stop();
+    EXPECT_THROW(client.ping(), IoError);
+}
+
+TEST(SocketService, HandleRejectsOversizeSubmitInline)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    config.maxQasmBytes = 8;
+    TcpHarness harness(config);
+
+    Request request;
+    request.verb = Verb::Submit;
+    request.qasm = "OPENQASM 2.0; more than eight bytes";
+    bool closeConnection = false;
+    const Response response =
+        harness.server.handle(request, &closeConnection);
+    ASSERT_FALSE(response.ok);
+    EXPECT_EQ(*response.find("kind"), "validation");
+    EXPECT_FALSE(closeConnection);
+}

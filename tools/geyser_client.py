@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Wire-protocol client for geyserd (protocol v1). Stdlib only.
+
+Frames are a single header line plus an optional length-prefixed
+payload, both newline-terminated:
+
+    geyser/1 <verb> key=value ... [payload=<N>]\n
+    <N raw payload bytes>\n
+
+Subcommands mirror the protocol verbs (ping, submit, status, result,
+cancel, stats, shutdown) plus `smoke`, the CI driver: it submits every
+given QASM file `--repeat` times (duplicates exercise the cache /
+single-flight path), waits for all results, and fails loudly unless
+every job lands in `done` with a QASM payload and the duplicates were
+served as cache hits.
+
+Examples:
+    geyser_client.py --port 7421 ping
+    geyser_client.py --port 7421 submit examples/bell.qasm
+    geyser_client.py --port 7421 smoke examples/*.qasm --repeat 2
+"""
+
+import argparse
+import socket
+import sys
+import time
+
+MAGIC = b"geyser/1"
+MAX_HEADER = 64 * 1024
+
+
+class ProtocolError(Exception):
+    pass
+
+
+class Response:
+    def __init__(self, ok, fields, payload):
+        self.ok = ok
+        self.fields = fields  # dict, first occurrence wins
+        self.payload = payload  # bytes or None
+
+    def __repr__(self):
+        return "Response(ok=%r, fields=%r, payload=%s)" % (
+            self.ok, self.fields,
+            "None" if self.payload is None else "%d bytes" % len(self.payload))
+
+
+class GeyserClient:
+    """One protocol connection; requests are strictly sequential."""
+
+    def __init__(self, host=None, port=None, unix_path=None):
+        if unix_path:
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self.sock.connect(unix_path)
+        else:
+            self.sock = socket.create_connection((host or "127.0.0.1", port))
+        self._buffer = b""
+
+    def close(self):
+        self.sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- framing ----------------------------------------------------
+
+    def _read_line(self):
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_HEADER:
+                raise ProtocolError("oversize header line")
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("connection closed mid-frame")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    def _read_exact(self, n):
+        while len(self._buffer) < n:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("connection closed mid-payload")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:n], self._buffer[n:]
+        return data
+
+    def _round_trip(self, header_tokens, payload=None):
+        header = b" ".join([MAGIC] + [t.encode() for t in header_tokens])
+        frame = header
+        if payload is not None:
+            frame += b" payload=%d\n" % len(payload) + payload
+        frame += b"\n"
+        self.sock.sendall(frame)
+        return self._read_response()
+
+    def _read_response(self):
+        tokens = self._read_line().split(b" ")
+        if len(tokens) < 2 or tokens[0] != MAGIC:
+            raise ProtocolError("bad response header: %r" % tokens)
+        ok = tokens[1] == b"ok"
+        if not ok and tokens[1] != b"err":
+            raise ProtocolError("expected ok/err, got %r" % tokens[1])
+        fields = {}
+        payload = None
+        for i, token in enumerate(tokens[2:], start=2):
+            key, eq, value = token.partition(b"=")
+            if not eq:
+                raise ProtocolError("bad field token %r" % token)
+            if key == b"payload":
+                if i != len(tokens) - 1:
+                    raise ProtocolError("payload= must be the last field")
+                payload = self._read_exact(int(value) + 1)
+                if payload[-1:] != b"\n":
+                    raise ProtocolError("missing payload terminator")
+                payload = payload[:-1]
+            else:
+                fields.setdefault(key.decode(), value.decode())
+        return Response(ok, fields, payload)
+
+    # -- verbs ------------------------------------------------------
+
+    def ping(self):
+        return self._round_trip(["ping"])
+
+    def stats(self):
+        return self._round_trip(["stats"])
+
+    def shutdown(self):
+        return self._round_trip(["shutdown"])
+
+    def submit(self, qasm, technique="geyser", fmt="qasm", priority=0,
+               deadline_ms=0, cache=True):
+        if isinstance(qasm, str):
+            qasm = qasm.encode()
+        # Canonical field order, matching the C++ encoder byte for byte.
+        return self._round_trip(
+            ["submit", "technique=%s" % technique, "format=%s" % fmt,
+             "priority=%d" % priority, "deadline_ms=%d" % deadline_ms,
+             "cache=%s" % ("on" if cache else "off")],
+            payload=qasm)
+
+    def status(self, job_id):
+        return self._round_trip(["status", "id=%d" % job_id])
+
+    def result(self, job_id):
+        return self._round_trip(["result", "id=%d" % job_id])
+
+    def cancel(self, job_id):
+        return self._round_trip(["cancel", "id=%d" % job_id])
+
+    def wait_result(self, job_id, poll_s=0.02, timeout_s=300.0):
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if not status.ok:
+                return status
+            if status.fields.get("state") not in ("queued", "running"):
+                return self.result(job_id)
+            if time.monotonic() > deadline:
+                raise ProtocolError("job %d still %s after %gs" % (
+                    job_id, status.fields.get("state"), timeout_s))
+            time.sleep(poll_s)
+
+
+def show(response):
+    state = "ok" if response.ok else "err"
+    parts = ["%s=%s" % kv for kv in response.fields.items()]
+    print(state, " ".join(parts))
+    if response.payload is not None:
+        sys.stdout.write(response.payload.decode(errors="replace"))
+        if not response.payload.endswith(b"\n"):
+            sys.stdout.write("\n")
+    return 0 if response.ok else 1
+
+
+def smoke(client, paths, repeat):
+    """Submit every file `repeat` times; everything must compile and
+    the duplicate submissions must be served from the cache."""
+    jobs = []  # (path, job_id)
+    for path in paths:
+        with open(path, "rb") as f:
+            qasm = f.read()
+        for _ in range(repeat):
+            accepted = client.submit(qasm)
+            if not accepted.ok:
+                print("FAIL submit %s: %r" % (path, accepted))
+                return 1
+            jobs.append((path, int(accepted.fields["id"])))
+
+    failures = 0
+    cache_hits = 0
+    for path, job_id in jobs:
+        result = client.wait_result(job_id)
+        state = result.fields.get("state", "?")
+        hit = result.fields.get("cache_hit") == "1"
+        cache_hits += hit
+        ok = (result.ok and state == "done" and result.payload is not None
+              and b"OPENQASM" in result.payload)
+        failures += not ok
+        print("%s job=%d %s state=%s cache_hit=%d pulses=%s" % (
+            "ok  " if ok else "FAIL", job_id, path, state, int(hit),
+            result.fields.get("total_pulses", "?")))
+
+    stats = client.stats()
+    print("stats:", " ".join("%s=%s" % kv for kv in stats.fields.items()))
+    total = len(jobs)
+    distinct = len(paths)
+    if repeat > 1 and cache_hits < total - distinct:
+        print("FAIL: expected >= %d cache hits for the duplicate "
+              "submissions, saw %d" % (total - distinct, cache_hits))
+        return 1
+    if failures:
+        print("FAIL: %d/%d jobs did not complete cleanly" % (failures, total))
+        return 1
+    print("smoke OK: %d jobs (%d distinct programs, %d cache hits)" % (
+        total, distinct, cache_hits))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int)
+    parser.add_argument("--socket", dest="unix_path")
+    sub = parser.add_subparsers(dest="verb", required=True)
+    sub.add_parser("ping")
+    sub.add_parser("stats")
+    sub.add_parser("shutdown")
+    p = sub.add_parser("submit")
+    p.add_argument("file")
+    p.add_argument("--technique", default="geyser")
+    p.add_argument("--format", dest="fmt", default="qasm")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--deadline-ms", type=int, default=0)
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until terminal and print the result")
+    for verb in ("status", "result", "cancel"):
+        sub.add_parser(verb).add_argument("id", type=int)
+    p = sub.add_parser("smoke")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--repeat", type=int, default=2)
+    args = parser.parse_args()
+
+    if not args.port and not args.unix_path:
+        parser.error("need --port or --socket")
+
+    with GeyserClient(args.host, args.port, args.unix_path) as client:
+        if args.verb == "ping":
+            return show(client.ping())
+        if args.verb == "stats":
+            return show(client.stats())
+        if args.verb == "shutdown":
+            return show(client.shutdown())
+        if args.verb == "submit":
+            with open(args.file, "rb") as f:
+                qasm = f.read()
+            accepted = client.submit(qasm, args.technique, args.fmt,
+                                     args.priority, args.deadline_ms,
+                                     not args.no_cache)
+            if not accepted.ok or not args.wait:
+                return show(accepted)
+            return show(client.wait_result(int(accepted.fields["id"])))
+        if args.verb == "status":
+            return show(client.status(args.id))
+        if args.verb == "result":
+            return show(client.result(args.id))
+        if args.verb == "cancel":
+            return show(client.cancel(args.id))
+        if args.verb == "smoke":
+            return smoke(client, args.files, args.repeat)
+    return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. | head) closed early: not an error, but
+        # suppress the noisy traceback Python prints when stdout dies.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)  # conventional 128 + SIGPIPE

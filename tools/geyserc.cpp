@@ -334,16 +334,10 @@ main(int argc, char **argv)
         }
         writeObs();
         return 0;
-    } catch (const Error &e) {
-        // Taxonomy errors know their class and location; report both so
-        // "geyserc: parse error: qasm:17: ..." is actionable without a
-        // debugger. Internal errors are bugs in this tool, not in the
-        // input — exit 3 so scripts can tell them apart.
-        std::fprintf(stderr, "geyserc: %s: %s\n", errorKindName(e.kind()),
-                     e.what());
-        return e.kind() == ErrorKind::Internal ? 3 : 1;
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "geyserc: %s\n", e.what());
-        return 1;
+        // Shared with geyserd: taxonomy errors render kind-labelled
+        // ("geyserc: parse error: qasm:17: ...") with exit 3 reserved
+        // for internal bugs, and the two tools cannot drift apart.
+        return renderCliError("geyserc", e);
     }
 }
