@@ -305,7 +305,12 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
         composeOptions.cancel = options.cancel;
 
     std::vector<ComposeResult> composed(blocks.size());
+    // Pool workers don't inherit this thread's trace context (it is
+    // thread-local), so capture it here and re-enter it per block;
+    // TraceScope(0) is a no-op when no trace is active.
+    const uint64_t traceId = obs::currentTraceId();
     auto composeOne = [&](int i) {
+        obs::TraceScope trace(traceId);
         // Per-block cancellation: a cancelled compile drains the rest of
         // the batch in O(blocks) cheap throws instead of composing on.
         checkpoint(options, "compose");

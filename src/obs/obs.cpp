@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <stdexcept>
@@ -15,6 +16,7 @@ namespace obs {
 namespace detail {
 
 std::atomic<bool> g_enabled{false};
+thread_local uint64_t t_traceId = 0;
 
 namespace {
 thread_local int t_depth = 0;
@@ -38,18 +40,45 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+int64_t
+steadyNanos()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+/** Retained per-trace event buffer (see beginTrace). */
+struct TraceBuffer
+{
+    std::vector<TraceEvent> events;
+    long dropped = 0;
+};
+
 /** All shared collection state, one mutex. Metric maps are node-based so
- *  references survive later insertions; reset() zeroes in place. */
+ *  references survive later insertions; reset() zeroes in place. The
+ *  epoch is atomic so nowMicros() never races reset(). */
 struct Registry
 {
     std::mutex mutex;
     std::map<std::string, Counter> counters;
     std::map<std::string, Gauge> gauges;
     std::map<std::string, Histogram> histograms;
-    std::vector<TraceEvent> events;
+    // Global recorder: fixed-capacity ring, oldest overwritten first.
+    std::vector<TraceEvent> ring;
+    size_t ringHead = 0;  ///< Oldest slot once the ring is full.
+    size_t ringCapacity = kDefaultEventCapacity;
+    Counter droppedEvents;  ///< Always-on `obs.events_dropped`.
+    // Per-trace buffers, insertion order tracked for LRU eviction.
+    std::map<uint64_t, TraceBuffer> traces;
+    std::deque<uint64_t> traceOrder;
+    size_t eventsPerTrace = 2048;
+    size_t retainedTraces = 64;
     std::map<int, std::string> threadNames;
-    Clock::time_point epoch = Clock::now();
+    std::atomic<int64_t> epochNanos{steadyNanos()};
     std::atomic<int> nextTid{0};
+
+    Registry() { droppedEvents.setAlwaysOn(); }
 };
 
 Registry &
@@ -61,12 +90,37 @@ registry()
 
 thread_local int t_tid = -1;
 
+/** Append to the global ring (registry mutex held). */
+void
+ringPush(Registry &r, TraceEvent &&event)
+{
+    if (r.ring.size() < r.ringCapacity) {
+        r.ring.push_back(std::move(event));
+        return;
+    }
+    r.ring[r.ringHead] = std::move(event);
+    r.ringHead = (r.ringHead + 1) % r.ringCapacity;
+    r.droppedEvents.add();
+}
+
 void
 record(TraceEvent &&event)
 {
     Registry &r = registry();
     std::lock_guard<std::mutex> lock(r.mutex);
-    r.events.push_back(std::move(event));
+    if (event.traceId != 0) {
+        const auto it = r.traces.find(event.traceId);
+        if (it != r.traces.end()) {
+            if (it->second.events.size() < r.eventsPerTrace)
+                it->second.events.push_back(event);
+            else
+                ++it->second.dropped;
+        }
+    }
+    // The global ring only collects under the process-wide flag; a
+    // trace context alone keeps the daemon's ring quiet.
+    if (detail::g_enabled.load(std::memory_order_relaxed))
+        ringPush(r, std::move(event));
 }
 
 }  // namespace
@@ -82,22 +136,31 @@ reset()
 {
     Registry &r = registry();
     std::lock_guard<std::mutex> lock(r.mutex);
-    r.events.clear();
+    r.ring.clear();
+    r.ringHead = 0;
+    r.droppedEvents.reset();
+    r.traces.clear();
+    r.traceOrder.clear();
     for (auto &c : r.counters)
         c.second.reset();
     for (auto &g : r.gauges)
         g.second.reset();
     for (auto &h : r.histograms)
         h.second.reset();
-    r.epoch = Clock::now();
+    r.epochNanos.store(steadyNanos(), std::memory_order_relaxed);
 }
 
 uint64_t
 nowMicros()
 {
-    const auto d = Clock::now() - registry().epoch;
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+    // Relaxed atomic epoch: a concurrent reset() may move it forward
+    // between the two loads, in which case clamp to zero rather than
+    // wrapping (the event lands at the new epoch's origin).
+    const int64_t now = steadyNanos();
+    const int64_t epoch =
+        registry().epochNanos.load(std::memory_order_relaxed);
+    return now <= epoch ? 0
+                        : static_cast<uint64_t>((now - epoch) / 1000);
 }
 
 int
@@ -116,6 +179,79 @@ setThreadName(const std::string &name)
     std::lock_guard<std::mutex> lock(r.mutex);
     r.threadNames[tid] = name;
 }
+
+// ---- Trace contexts -------------------------------------------------
+
+void
+beginTrace(uint64_t id)
+{
+    if (id == 0)
+        return;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.traces.find(id);
+    if (it != r.traces.end()) {
+        it->second.events.clear();
+        it->second.dropped = 0;
+        return;
+    }
+    while (r.traceOrder.size() >= r.retainedTraces) {
+        r.traces.erase(r.traceOrder.front());
+        r.traceOrder.pop_front();
+    }
+    r.traces.emplace(id, TraceBuffer{});
+    r.traceOrder.push_back(id);
+}
+
+bool
+hasTrace(uint64_t id)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.traces.count(id) != 0;
+}
+
+std::vector<TraceEvent>
+traceEvents(uint64_t id)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.traces.find(id);
+    return it == r.traces.end() ? std::vector<TraceEvent>{}
+                                : it->second.events;
+}
+
+long
+traceDropped(uint64_t id)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.traces.find(id);
+    return it == r.traces.end() ? -1 : it->second.dropped;
+}
+
+std::vector<uint64_t>
+traceIds()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return {r.traceOrder.begin(), r.traceOrder.end()};
+}
+
+void
+setTraceLimits(size_t eventsPerTrace, size_t retainedTraces)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.eventsPerTrace = std::max<size_t>(1, eventsPerTrace);
+    r.retainedTraces = std::max<size_t>(1, retainedTraces);
+    while (r.traceOrder.size() > r.retainedTraces) {
+        r.traces.erase(r.traceOrder.front());
+        r.traceOrder.pop_front();
+    }
+}
+
+// ---- Spans ----------------------------------------------------------
 
 void
 Span::begin(const char *name, const char *category)
@@ -140,10 +276,13 @@ Span::end()
     event.durMicros = stop - start_;
     event.tid = currentThreadId();
     event.depth = depth_;
+    event.traceId = detail::t_traceId;
     event.numArgs = std::move(numArgs_);
     event.strArgs = std::move(strArgs_);
     record(std::move(event));
 }
+
+// ---- Metrics --------------------------------------------------------
 
 double
 Histogram::bucketUpperBound(int i)
@@ -154,7 +293,7 @@ Histogram::bucketUpperBound(int i)
 void
 Histogram::record(double value)
 {
-    if (!enabled())
+    if (!enabled() && !always_.load(std::memory_order_relaxed))
         return;
     int bucket = 0;
     if (value >= 1.0)
@@ -199,6 +338,8 @@ Histogram::Snapshot::percentile(double p) const
 {
     if (count == 0)
         return 0.0;
+    if (p <= 0.0)
+        return min;
     const double target = p * static_cast<double>(count);
     long seen = 0;
     for (size_t i = 0; i < buckets.size(); ++i) {
@@ -214,6 +355,11 @@ counter(const std::string &name)
 {
     Registry &r = registry();
     std::lock_guard<std::mutex> lock(r.mutex);
+    // The ring's drop counter lives outside the map (record() already
+    // holds the registry mutex when it increments it) but is addressable
+    // under its metric name like any other counter.
+    if (name == "obs.events_dropped")
+        return r.droppedEvents;
     return r.counters[name];
 }
 
@@ -233,10 +379,34 @@ histogram(const std::string &name)
     return r.histograms[name];
 }
 
+Counter &
+serviceCounter(const std::string &name)
+{
+    Counter &c = counter(name);
+    c.setAlwaysOn();
+    return c;
+}
+
+Gauge &
+serviceGauge(const std::string &name)
+{
+    Gauge &g = gauge(name);
+    g.setAlwaysOn();
+    return g;
+}
+
+Histogram &
+serviceHistogram(const std::string &name)
+{
+    Histogram &h = histogram(name);
+    h.setAlwaysOn();
+    return h;
+}
+
 void
 counterEvent(const char *name, double value)
 {
-    if (!enabled())
+    if (!collecting())
         return;
     TraceEvent event;
     event.name = name;
@@ -244,8 +414,48 @@ counterEvent(const char *name, double value)
     event.phase = 'C';
     event.tsMicros = nowMicros();
     event.tid = currentThreadId();
+    event.traceId = detail::t_traceId;
     event.numArgs.emplace_back("value", value);
     record(std::move(event));
+}
+
+// ---- The bounded global recorder ------------------------------------
+
+void
+setEventCapacity(size_t capacity)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const size_t cap = std::max<size_t>(1, capacity);
+    // Linearize, keep the newest `cap` events, count the rest dropped.
+    std::vector<TraceEvent> linear;
+    linear.reserve(r.ring.size());
+    for (size_t i = 0; i < r.ring.size(); ++i)
+        linear.push_back(
+            std::move(r.ring[(r.ringHead + i) % r.ring.size()]));
+    if (linear.size() > cap) {
+        r.droppedEvents.add(static_cast<long>(linear.size() - cap));
+        linear.erase(linear.begin(),
+                     linear.begin() +
+                         static_cast<long>(linear.size() - cap));
+    }
+    r.ring = std::move(linear);
+    r.ringHead = 0;
+    r.ringCapacity = cap;
+}
+
+size_t
+eventCapacity()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.ringCapacity;
+}
+
+long
+eventsDropped()
+{
+    return registry().droppedEvents.value();
 }
 
 std::vector<TraceEvent>
@@ -253,7 +463,11 @@ events()
 {
     Registry &r = registry();
     std::lock_guard<std::mutex> lock(r.mutex);
-    return r.events;
+    std::vector<TraceEvent> out;
+    out.reserve(r.ring.size());
+    for (size_t i = 0; i < r.ring.size(); ++i)
+        out.push_back(r.ring[(r.ringHead + i) % r.ring.size()]);
+    return out;
 }
 
 MetricsSnapshot
@@ -264,6 +478,7 @@ metricsSnapshot()
     MetricsSnapshot s;
     for (const auto &c : r.counters)
         s.counters.emplace_back(c.first, c.second.value());
+    s.counters.emplace_back("obs.events_dropped", r.droppedEvents.value());
     for (const auto &g : r.gauges)
         s.gauges.emplace_back(g.first, g.second.value());
     for (const auto &h : r.histograms)
@@ -289,17 +504,20 @@ argsJson(const TraceEvent &event)
         args.set(a.first, a.second);
     for (const auto &a : event.strArgs)
         args.set(a.first, a.second);
+    if (event.traceId != 0)
+        args.set("trace_id", static_cast<double>(event.traceId));
     return args;
 }
 
 }  // namespace
 
 std::string
-chromeTraceJson()
+chromeTraceJson(const std::vector<TraceEvent> &events,
+                const std::vector<std::pair<int, std::string>> &threads)
 {
     Json trace = Json::array();
     // Thread-name metadata first, so viewers label tracks immediately.
-    for (const auto &tn : threadNames()) {
+    for (const auto &tn : threads) {
         Json m = Json::object();
         m.set("ph", "M");
         m.set("pid", 1);
@@ -310,7 +528,7 @@ chromeTraceJson()
         m.set("args", std::move(args));
         trace.push(std::move(m));
     }
-    for (const auto &event : events()) {
+    for (const auto &event : events) {
         Json e = Json::object();
         e.set("name", event.name);
         e.set("cat", event.category);
@@ -322,7 +540,8 @@ chromeTraceJson()
             e.set("dur", static_cast<double>(event.durMicros));
         if (event.phase == 'C') {
             e.set("args", argsJson(event));
-        } else if (!event.numArgs.empty() || !event.strArgs.empty()) {
+        } else if (!event.numArgs.empty() || !event.strArgs.empty() ||
+                   event.traceId != 0) {
             e.set("args", argsJson(event));
         }
         trace.push(std::move(e));
@@ -331,6 +550,12 @@ chromeTraceJson()
     doc.set("traceEvents", std::move(trace));
     doc.set("displayTimeUnit", "ms");
     return doc.dump();
+}
+
+std::string
+chromeTraceJson()
+{
+    return chromeTraceJson(events(), threadNames());
 }
 
 void
@@ -356,6 +581,8 @@ metricsJsonl()
         line.set("ts_us", static_cast<double>(event.tsMicros));
         if (event.phase == 'X')
             line.set("dur_us", static_cast<double>(event.durMicros));
+        if (event.traceId != 0)
+            line.set("trace_id", static_cast<double>(event.traceId));
         const Json args = argsJson(event);
         if (args.size() > 0)
             line.set("args", args);

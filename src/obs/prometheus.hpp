@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Prometheus text-format exposition of the obs metric registry — the
+ * payload of geyserd's `metrics` wire verb and of geyserc --prom.
+ *
+ * Exposition grammar (DESIGN.md §12): every internal metric renders as
+ * one Prometheus series family with `# HELP` and `# TYPE` headers.
+ *
+ *  - Generic mapping: internal name `a.b_c` becomes `geyser_a_b_c`
+ *    (dots and dashes to underscores, other non-alphanumerics dropped);
+ *    counters additionally get the `_total` suffix.
+ *  - Service families carry an explicit mapping so the daemon's key
+ *    series have conventional names and labels:
+ *      service.done/failed/cancelled/expired/rejected
+ *          -> geyser_jobs_total{outcome="..."}
+ *      service.submitted   -> geyser_jobs_submitted_total
+ *      service.cache_hit   -> geyser_cache_hits_total
+ *      service.requests    -> geyser_requests_total
+ *      service.queue_depth -> geyser_queue_depth         (gauge)
+ *      service.in_flight   -> geyser_jobs_in_flight      (gauge)
+ *      service.queue_wait_ms -> geyser_queue_wait_seconds (x 1e-3)
+ *      service.compile_ms    -> geyser_compile_seconds    (x 1e-3)
+ *      service.e2e_ms        -> geyser_e2e_seconds        (x 1e-3)
+ *  - Histograms render cumulative `_bucket{le="..."}` series over the
+ *    base-2 bucket edges (scaled where the family converts ms to
+ *    seconds) up to the highest occupied bucket, a terminal
+ *    `le="+Inf"` bucket, and `_sum` / `_count`.
+ *  - One derived gauge, geyser_cache_hit_ratio, is computed from
+ *    service.cache_hit / service.done when any job has completed.
+ *
+ * The snapshot the text is computed from is lock-consistent per metric
+ * (each counter/gauge is one atomic read; each histogram snapshot is
+ * taken under its own lock) and taken live — this is the scrape path of
+ * a running daemon, not an end-of-run report.
+ */
+#ifndef GEYSER_OBS_PROMETHEUS_HPP
+#define GEYSER_OBS_PROMETHEUS_HPP
+
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace geyser {
+namespace obs {
+
+/** Render one snapshot in Prometheus text exposition format. */
+std::string prometheusText(const MetricsSnapshot &snapshot);
+
+/** Render a live snapshot of the registry (the daemon scrape path). */
+std::string prometheusText();
+
+}  // namespace obs
+}  // namespace geyser
+
+#endif  // GEYSER_OBS_PROMETHEUS_HPP

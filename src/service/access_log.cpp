@@ -1,0 +1,49 @@
+#include "service/access_log.hpp"
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+
+namespace geyser {
+namespace service {
+
+AccessLog::AccessLog(const std::string &path)
+    : path_(path), out_(path, std::ios::app)
+{
+    if (!out_)
+        throw IoError("access log: cannot open " + path);
+}
+
+void
+AccessLog::log(const JobInfo &info)
+{
+    obs::Json line = obs::Json::object();
+    line.set("ts", obs::utcTimestamp());
+    line.set("id", static_cast<double>(info.id));
+    line.set("peer", info.peer.empty() ? "local" : info.peer);
+    line.set("outcome", jobStateName(info.state));
+    line.set("technique", wireTechniqueName(info.technique));
+    line.set("priority", info.priority);
+    line.set("queue_us", info.queueMs * 1000.0);
+    line.set("compile_us", info.wallMs * 1000.0);
+    line.set("cache_hit", info.cacheHit);
+    if (info.state == JobState::Done) {
+        line.set("total_pulses", static_cast<double>(info.totalPulses));
+    } else if (jobStateTerminal(info.state)) {
+        line.set("error_kind", wireErrorKind(info.errorKind));
+        line.set("error", info.errorMessage);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line.dump() << '\n';
+    out_.flush();
+    if (!out_) {
+        obs::serviceCounter("service.access_log_error").add();
+        out_.clear();  // Keep trying; a full disk may recover.
+    }
+}
+
+}  // namespace service
+}  // namespace geyser

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Structured JSONL access log for geyserd: one line per job reaching a
+ * terminal state — id, peer, outcome, queue-wait and compile
+ * microseconds, cache hit, and error detail for failures. Lines are
+ * flushed as written so a crashed daemon loses at most the in-flight
+ * line, and the file is append-only so restarts accumulate history.
+ *
+ * Threading: log() is serialized by an internal mutex independent of
+ * every other lock in the service (it is called with the service job
+ * table locked; keeping this class lock-leaf makes that safe).
+ */
+#ifndef GEYSER_SERVICE_ACCESS_LOG_HPP
+#define GEYSER_SERVICE_ACCESS_LOG_HPP
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace geyser {
+namespace service {
+
+struct JobInfo;
+
+class AccessLog
+{
+  public:
+    /** Open `path` for append; throws IoError when it cannot. */
+    explicit AccessLog(const std::string &path);
+
+    AccessLog(const AccessLog &) = delete;
+    AccessLog &operator=(const AccessLog &) = delete;
+
+    /** Append one terminal-job line and flush. Never throws (a failed
+     *  write drops the line and counts service.access_log_error). */
+    void log(const JobInfo &info);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::mutex mutex_;
+    std::ofstream out_;
+};
+
+}  // namespace service
+}  // namespace geyser
+
+#endif  // GEYSER_SERVICE_ACCESS_LOG_HPP

@@ -194,6 +194,10 @@ verbName(Verb verb)
         return "stats";
       case Verb::Shutdown:
         return "shutdown";
+      case Verb::Metrics:
+        return "metrics";
+      case Verb::Trace:
+        return "trace";
     }
     return "?";
 }
@@ -292,11 +296,13 @@ encodeRequest(const Request &request)
       case Verb::Status:
       case Verb::Result:
       case Verb::Cancel:
+      case Verb::Trace:
         out += " id=" + std::to_string(request.id);
         break;
       case Verb::Ping:
       case Verb::Stats:
       case Verb::Shutdown:
+      case Verb::Metrics:
         break;
     }
     out += '\n';
@@ -387,10 +393,12 @@ parseRequestHeader(const std::string &line)
         frame.hasPayload = true;
         return frame;
     }
-    if (verb == "status" || verb == "result" || verb == "cancel") {
-        request.verb = verb == "status"  ? Verb::Status
+    if (verb == "status" || verb == "result" || verb == "cancel" ||
+        verb == "trace") {
+        request.verb = verb == "status"   ? Verb::Status
                        : verb == "result" ? Verb::Result
-                                          : Verb::Cancel;
+                       : verb == "cancel" ? Verb::Cancel
+                                          : Verb::Trace;
         only("id");
         bool sawId = false;
         for (const auto &[key, value] : fields) {
@@ -401,10 +409,12 @@ parseRequestHeader(const std::string &line)
             bad(verb + ": missing id");
         return frame;
     }
-    if (verb == "ping" || verb == "stats" || verb == "shutdown") {
-        request.verb = verb == "ping"   ? Verb::Ping
+    if (verb == "ping" || verb == "stats" || verb == "shutdown" ||
+        verb == "metrics") {
+        request.verb = verb == "ping"    ? Verb::Ping
                        : verb == "stats" ? Verb::Stats
-                                         : Verb::Shutdown;
+                       : verb == "shutdown" ? Verb::Shutdown
+                                            : Verb::Metrics;
         if (!fields.empty())
             bad(verb + ": takes no fields");
         return frame;

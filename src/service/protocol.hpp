@@ -53,7 +53,20 @@ inline constexpr size_t kMaxHeaderBytes = 4096;
 inline constexpr size_t kMaxPayloadBytes = 4u << 20;
 
 /** Everything a client can ask the daemon to do. */
-enum class Verb { Submit, Status, Result, Cancel, Ping, Stats, Shutdown };
+enum class Verb
+{
+    Submit,
+    Status,
+    Result,
+    Cancel,
+    Ping,
+    Stats,
+    Shutdown,
+    /** Live Prometheus text exposition of the obs registry (PR 7). */
+    Metrics,
+    /** Per-job Chrome trace JSON by job id (PR 7). */
+    Trace,
+};
 
 /** Wire token of a verb ("submit", "status", ...). */
 const char *verbName(Verb verb);
@@ -75,7 +88,7 @@ struct Request
     long deadlineMs = 0;    ///< Per-job deadline from submit time; 0 = none.
     bool useCache = true;   ///< Serve/store through the persistent cache.
     std::string qasm;       ///< Submit payload (OpenQASM 2.0).
-    // Status / result / cancel field.
+    // Status / result / cancel / trace field.
     uint64_t id = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "service/server.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -7,6 +9,7 @@
 
 #include "cache/result_cache.hpp"
 #include "obs/obs.hpp"
+#include "obs/prometheus.hpp"
 #include "service/service.hpp"
 
 namespace geyser {
@@ -20,6 +23,31 @@ fixed3(double v)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.3f", v);
     return buf;
+}
+
+/** "tcp:<ip>:<port>" / "unix" identity of the connected client, for
+ *  the access log. Best effort; empty on getpeername failure. */
+std::string
+peerName(int fd)
+{
+    sockaddr_storage addr{};
+    socklen_t len = sizeof(addr);
+    if (::getpeername(fd, reinterpret_cast<sockaddr *>(&addr), &len) != 0)
+        return "";
+    char host[INET6_ADDRSTRLEN] = {0};
+    if (addr.ss_family == AF_INET) {
+        const auto *in = reinterpret_cast<const sockaddr_in *>(&addr);
+        ::inet_ntop(AF_INET, &in->sin_addr, host, sizeof(host));
+        return std::string("tcp:") + host + ":" +
+               std::to_string(ntohs(in->sin_port));
+    }
+    if (addr.ss_family == AF_INET6) {
+        const auto *in6 = reinterpret_cast<const sockaddr_in6 *>(&addr);
+        ::inet_ntop(AF_INET6, &in6->sin6_addr, host, sizeof(host));
+        return std::string("tcp:") + host + ":" +
+               std::to_string(ntohs(in6->sin6_port));
+    }
+    return "unix";
 }
 
 Response
@@ -106,10 +134,12 @@ SocketServer::acceptLoop()
 void
 SocketServer::serveConnection(int fd)
 {
-    static obs::Counter &requests = obs::counter("service.requests");
-    static obs::Counter &connErrors = obs::counter("service.conn_error");
+    static obs::Counter &requests = obs::serviceCounter("service.requests");
+    static obs::Counter &connErrors =
+        obs::serviceCounter("service.conn_error");
     obs::setThreadName("geyserd-conn");
     Fd owned(fd);
+    const std::string peer = peerName(fd);
 
     try {
         SocketReader reader(fd);
@@ -134,7 +164,7 @@ SocketServer::serveConnection(int fd)
                     payload.pop_back();
                     frame.message.qasm = std::move(payload);
                 }
-                response = handle(frame.message, &closeAfter);
+                response = handle(frame.message, &closeAfter, peer);
             } catch (const ParseError &e) {
                 // The stream cannot be resynchronised after a framing
                 // error — reply, then drop the connection.
@@ -167,7 +197,8 @@ SocketServer::serveConnection(int fd)
 }
 
 Response
-SocketServer::handle(const Request &request, bool *closeConnection)
+SocketServer::handle(const Request &request, bool *closeConnection,
+                     const std::string &peer)
 {
     Response response;
     switch (request.verb) {
@@ -179,6 +210,7 @@ SocketServer::handle(const Request &request, bool *closeConnection)
         spec.priority = request.priority;
         spec.deadlineMs = request.deadlineMs;
         spec.useCache = request.useCache;
+        spec.peer = peer;
         try {
             const uint64_t id = service_.submit(spec);
             response.set("id", std::to_string(id));
@@ -276,6 +308,30 @@ SocketServer::handle(const Request &request, bool *closeConnection)
         response.set("running", std::to_string(s.running));
         const PoolStats pool = service_.poolStats();
         response.set("pool_exceptions", std::to_string(pool.exceptions));
+        return response;
+      }
+      case Verb::Metrics:
+        // Live, lock-consistent snapshot of the whole obs registry in
+        // Prometheus text format. Works with tracing off: the service
+        // domain is always counted.
+        response.set("format", "prometheus");
+        response.hasPayload = true;
+        response.payload = obs::prometheusText();
+        return response;
+      case Verb::Trace: {
+        if (!obs::hasTrace(request.id))
+            return Response::error(kErrNotFound, 404,
+                                   "no trace for job id " +
+                                       std::to_string(request.id) +
+                                       " (evicted or never run)");
+        const auto events = obs::traceEvents(request.id);
+        response.set("id", std::to_string(request.id));
+        response.set("events", std::to_string(events.size()));
+        response.set("dropped",
+                     std::to_string(obs::traceDropped(request.id)));
+        response.hasPayload = true;
+        response.payload =
+            obs::chromeTraceJson(events, obs::threadNames());
         return response;
       }
       case Verb::Shutdown:

@@ -68,8 +68,10 @@ class SocketServer
     /** Bound TCP port (0 when serving a Unix socket). */
     int port() const { return port_; }
 
-    /** One-request dispatch, exposed for in-process tests. */
-    Response handle(const Request &request, bool *closeConnection);
+    /** One-request dispatch, exposed for in-process tests. `peer` is
+     *  the client identity threaded into submits for the access log. */
+    Response handle(const Request &request, bool *closeConnection,
+                    const std::string &peer = std::string());
 
   private:
     void acceptLoop();

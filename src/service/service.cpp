@@ -6,11 +6,41 @@
 #include "io/qasm_parser.hpp"
 #include "io/serialize.hpp"
 #include "obs/obs.hpp"
+#include "service/access_log.hpp"
 
 namespace geyser {
 namespace service {
 
 namespace {
+
+// Service-domain metrics: always counted, independent of the span
+// tracing flag, so a production daemon can be scraped with tracing
+// off. Registered once; reset() zeroes them in place so these
+// references stay valid for the process lifetime.
+struct ServiceMetrics
+{
+    obs::Counter &submitted = obs::serviceCounter("service.submitted");
+    obs::Counter &rejected = obs::serviceCounter("service.rejected");
+    obs::Counter &done = obs::serviceCounter("service.done");
+    obs::Counter &failed = obs::serviceCounter("service.failed");
+    obs::Counter &cancelled = obs::serviceCounter("service.cancelled");
+    obs::Counter &expired = obs::serviceCounter("service.expired");
+    obs::Counter &cacheHits = obs::serviceCounter("service.cache_hit");
+    obs::Gauge &queueDepth = obs::serviceGauge("service.queue_depth");
+    obs::Gauge &inFlight = obs::serviceGauge("service.in_flight");
+    obs::Histogram &queueWaitMs =
+        obs::serviceHistogram("service.queue_wait_ms");
+    obs::Histogram &compileMs =
+        obs::serviceHistogram("service.compile_ms");
+    obs::Histogram &e2eMs = obs::serviceHistogram("service.e2e_ms");
+};
+
+ServiceMetrics &
+metrics()
+{
+    static ServiceMetrics m;
+    return m;
+}
 
 double
 msSince(std::chrono::steady_clock::time_point t0)
@@ -39,6 +69,10 @@ CompileService::CompileService(ServiceConfig config)
         config_.maxQueuedJobs = 1;
     if (config_.maxRetainedJobs <= 0)
         config_.maxRetainedJobs = 1;
+    if (config_.perJobTrace)
+        obs::setTraceLimits(config_.perJobTraceEvents,
+                            config_.retainedJobTraces);
+    metrics();  // Register the service domain before the first scrape.
 }
 
 CompileService::~CompileService()
@@ -49,13 +83,12 @@ CompileService::~CompileService()
 uint64_t
 CompileService::submit(const JobSpec &spec)
 {
-    static obs::Counter &submits = obs::counter("service.submitted");
-    static obs::Counter &rejects = obs::counter("service.rejected");
+    ServiceMetrics &m = metrics();
 
     auto countRejected = [&] {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.rejected;
-        rejects.add();
+        m.rejected.add();
     };
 
     // The untrusted-input boundary: parse + validate on the caller's
@@ -80,6 +113,7 @@ CompileService::submit(const JobSpec &spec)
     auto record = std::make_unique<JobRecord>();
     record->spec = spec;
     record->logical = std::move(logical);
+    record->info.peer = spec.peer;
     record->submitted = std::chrono::steady_clock::now();
     const long deadlineMs =
         spec.deadlineMs > 0 ? spec.deadlineMs : config_.defaultDeadlineMs;
@@ -90,12 +124,12 @@ CompileService::submit(const JobSpec &spec)
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopped_) {
             ++stats_.rejected;
-            rejects.add();
+            m.rejected.add();
             throw UnavailableError("submit: service is shutting down");
         }
         if (stats_.queued >= config_.maxQueuedJobs) {
             ++stats_.rejected;
-            rejects.add();
+            m.rejected.add();
             throw UnavailableError(
                 "submit: queue full (" + std::to_string(stats_.queued) +
                 " pending jobs)");
@@ -107,8 +141,9 @@ CompileService::submit(const JobSpec &spec)
         queue_.push(id, spec.priority);
         ++stats_.submitted;
         ++stats_.queued;
+        m.queueDepth.set(stats_.queued);
     }
-    submits.add();
+    m.submitted.add();
     // One drain slot per accepted job: the pool provides the threads,
     // the JobQueue provides the priority order.
     if (config_.workers != 0)
@@ -139,6 +174,10 @@ CompileService::runOne()
         record->info.queueMs = msSince(record->submitted);
         --stats_.queued;
         ++stats_.running;
+        ServiceMetrics &m = metrics();
+        m.queueDepth.set(stats_.queued);
+        m.inFlight.set(stats_.running);
+        m.queueWaitMs.record(record->info.queueMs);
     }
     execute(*record);
 }
@@ -146,11 +185,22 @@ CompileService::runOne()
 void
 CompileService::execute(JobRecord &record)
 {
+    // Per-job trace context: every span recorded under this scope —
+    // including the pipeline's, on whatever worker thread it runs —
+    // lands in a bounded buffer keyed by the job id, served later by
+    // the `trace <job-id>` wire verb. Independent of the global
+    // tracing flag; TraceScope(0) is a no-op when disabled.
+    const uint64_t traceId = config_.perJobTrace ? record.id : 0;
+    if (traceId != 0)
+        obs::beginTrace(traceId);
+    obs::TraceScope trace(traceId);
+
     obs::Span span("service.job", "service");
     span.arg("id", static_cast<double>(record.id));
     span.arg("technique", techniqueName(record.spec.technique));
     span.arg("priority", record.spec.priority);
 
+    const auto started = std::chrono::steady_clock::now();
     try {
         PipelineOptions options = config_.pipeline;
         options.cancel = &record.token;
@@ -162,7 +212,7 @@ CompileService::execute(JobRecord &record)
                                   : circuitToText(result.physical);
         span.arg("cache_hit", result.cacheHit ? 1.0 : 0.0);
         finish(record, JobState::Done, &result, std::move(payload),
-               ErrorKind::Internal, "");
+               ErrorKind::Internal, "", msSince(started));
     } catch (const std::exception &e) {
         ErrorKind kind = ErrorKind::Internal;
         if (const auto *err = dynamic_cast<const Error *>(&e))
@@ -173,28 +223,30 @@ CompileService::execute(JobRecord &record)
                                    ? JobState::Expired
                                    : JobState::Failed;
         span.arg("error", e.what());
-        finish(record, state, nullptr, "", kind, e.what());
+        finish(record, state, nullptr, "", kind, e.what(),
+               msSince(started));
     } catch (...) {
         finish(record, JobState::Failed, nullptr, "", ErrorKind::Internal,
-               "unknown exception during compile");
+               "unknown exception during compile", msSince(started));
     }
 }
 
 void
 CompileService::finish(JobRecord &record, JobState state,
                        const CompileResult *result, std::string payload,
-                       ErrorKind kind, const std::string &message)
+                       ErrorKind kind, const std::string &message,
+                       double wallMs)
 {
-    static obs::Counter &dones = obs::counter("service.done");
-    static obs::Counter &fails = obs::counter("service.failed");
-    static obs::Counter &cancels = obs::counter("service.cancelled");
-    static obs::Counter &expiries = obs::counter("service.expired");
-    static obs::Counter &hits = obs::counter("service.cache_hit");
+    ServiceMetrics &m = metrics();
 
     std::lock_guard<std::mutex> lock(mutex_);
     record.state = state;
     --stats_.running;
+    m.inFlight.set(stats_.running);
     JobInfo &info = record.info;
+    info.wallMs = wallMs;
+    m.compileMs.record(wallMs);
+    m.e2eMs.record(msSince(record.submitted));
     if (result != nullptr) {
         info.cacheHit = result->cacheHit;
         info.totalMs = result->totalMs;
@@ -215,28 +267,30 @@ CompileService::finish(JobRecord &record, JobState state,
     switch (state) {
       case JobState::Done:
         ++stats_.done;
-        dones.add();
+        m.done.add();
         if (info.cacheHit) {
             ++stats_.cacheHits;
-            hits.add();
+            m.cacheHits.add();
         }
         break;
       case JobState::Failed:
         ++stats_.failed;
-        fails.add();
+        m.failed.add();
         break;
       case JobState::Cancelled:
         ++stats_.cancelled;
-        cancels.add();
+        m.cancelled.add();
         break;
       case JobState::Expired:
         ++stats_.expired;
-        expiries.add();
+        m.expired.add();
         break;
       case JobState::Queued:
       case JobState::Running:
         break;  // finish() is only called with terminal states.
     }
+    if (config_.accessLog != nullptr)
+        config_.accessLog->log(infoSnapshot(record));
     retired_.push_back(record.id);
     trimRetained();
 }
@@ -244,15 +298,19 @@ CompileService::finish(JobRecord &record, JobState state,
 void
 CompileService::expireIfOverdue(JobRecord &record)
 {
-    static obs::Counter &expiries = obs::counter("service.expired");
+    ServiceMetrics &m = metrics();
     if (record.state != JobState::Queued || !record.token.deadlineExpired())
         return;
     record.state = JobState::Expired;
     record.info.errorKind = ErrorKind::Deadline;
     record.info.errorMessage = "deadline exceeded while queued";
+    record.info.queueMs = msSince(record.submitted);
     --stats_.queued;
     ++stats_.expired;
-    expiries.add();
+    m.queueDepth.set(stats_.queued);
+    m.expired.add();
+    if (config_.accessLog != nullptr)
+        config_.accessLog->log(infoSnapshot(record));
     retired_.push_back(record.id);
     trimRetained();
 }
@@ -326,7 +384,7 @@ CompileService::result(uint64_t id)
 CancelOutcome
 CompileService::cancel(uint64_t id)
 {
-    static obs::Counter &cancels = obs::counter("service.cancelled");
+    ServiceMetrics &m = metrics();
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end())
@@ -337,10 +395,14 @@ CompileService::cancel(uint64_t id)
         record.state = JobState::Cancelled;
         record.info.errorKind = ErrorKind::Cancelled;
         record.info.errorMessage = "cancelled while queued";
+        record.info.queueMs = msSince(record.submitted);
         record.token.requestCancel();
         --stats_.queued;
         ++stats_.cancelled;
-        cancels.add();
+        m.queueDepth.set(stats_.queued);
+        m.cancelled.add();
+        if (config_.accessLog != nullptr)
+            config_.accessLog->log(infoSnapshot(record));
         retired_.push_back(record.id);
         trimRetained();
         return CancelOutcome::Cancelled;
@@ -375,19 +437,25 @@ CompileService::shutdown(bool drain)
     // With no dispatch (the workers == 0 test mode) a drain would wait
     // on jobs nothing will ever run; abort instead.
     if (!drain || config_.workers == 0) {
+        ServiceMetrics &m = metrics();
         std::lock_guard<std::mutex> lock(mutex_);
         for (auto &[id, record] : jobs_) {
             if (record->state == JobState::Queued) {
                 record->state = JobState::Cancelled;
                 record->info.errorKind = ErrorKind::Cancelled;
                 record->info.errorMessage = "service shut down";
+                record->info.queueMs = msSince(record->submitted);
                 --stats_.queued;
                 ++stats_.cancelled;
+                m.cancelled.add();
+                if (config_.accessLog != nullptr)
+                    config_.accessLog->log(infoSnapshot(*record));
                 retired_.push_back(id);
             } else if (record->state == JobState::Running) {
                 record->token.requestCancel();
             }
         }
+        m.queueDepth.set(stats_.queued);
         trimRetained();
         queue_.close();
     }

@@ -48,6 +48,8 @@ class ResultCache;
 
 namespace service {
 
+class AccessLog;
+
 /**
  * The service cannot take the job right now: the queue is at its
  * backpressure cap or the daemon is shutting down. Maps to a 503-class
@@ -84,6 +86,23 @@ struct ServiceConfig
     size_t maxQasmBytes = kMaxPayloadBytes;
     /** Applied when a submit carries no deadline; 0 = none. */
     long defaultDeadlineMs = 0;
+    /**
+     * Optional JSONL access log (not owned): one line per job reaching
+     * a terminal state. The write happens with the job table locked —
+     * AccessLog is lock-leaf so this cannot deadlock, and a line write
+     * is trivial next to a compile.
+     */
+    AccessLog *accessLog = nullptr;
+    /**
+     * Per-job trace capture (obs trace contexts): every executed job
+     * records its pipeline spans into a bounded per-job buffer, served
+     * by the `trace <job-id>` wire verb — independent of the global
+     * tracing flag. The caps below feed obs::setTraceLimits at
+     * construction (a process-wide knob; the last service built wins).
+     */
+    bool perJobTrace = true;
+    size_t perJobTraceEvents = 2048;
+    size_t retainedJobTraces = 64;
     /** Pipeline knobs shared by every job (cache/cancel are per-job). */
     PipelineOptions pipeline;
 };
@@ -97,6 +116,7 @@ struct JobSpec
     int priority = 0;
     long deadlineMs = 0;  ///< 0 = ServiceConfig::defaultDeadlineMs.
     bool useCache = true;
+    std::string peer;     ///< Client identity for the access log.
 };
 
 /** Point-in-time public view of one job (status/result replies). */
@@ -108,8 +128,12 @@ struct JobInfo
     int priority = 0;
     std::string stage;        ///< Live pipeline stage while running.
     bool cacheHit = false;
+    std::string peer;         ///< From the submitting connection.
     double queueMs = 0.0;     ///< Submit → worker pickup.
-    double totalMs = 0.0;     ///< compile() wall time.
+    double wallMs = 0.0;      ///< Worker pickup → terminal (measured
+                              ///< by the service; 0 if never run).
+    double totalMs = 0.0;     ///< compile() wall time (a cache hit
+                              ///< replays the original compute's).
     double transpileMs = 0.0;
     double blockingMs = 0.0;
     double composeMs = 0.0;
@@ -217,7 +241,7 @@ class CompileService
     void execute(JobRecord &record);
     void finish(JobRecord &record, JobState state, const CompileResult *r,
                 std::string payload, ErrorKind kind,
-                const std::string &message);
+                const std::string &message, double wallMs);
     /** Lazily expire a queued job whose deadline passed (mutex held). */
     void expireIfOverdue(JobRecord &record);
     void trimRetained();

@@ -131,6 +131,12 @@ TEST(Protocol, RejectsUnknownAndMisplacedFields)
     EXPECT_THROW(parseRequestHeader("geyser/1 status id=1 extra=2"),
                  ParseError);
     EXPECT_THROW(parseRequestHeader("geyser/1 ping x=1"), ParseError);
+    // The PR-7 observability verbs follow the same strictness.
+    EXPECT_THROW(parseRequestHeader("geyser/1 metrics format=json"),
+                 ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 metrics id=1"), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 trace id=1 extra=2"),
+                 ParseError);
 }
 
 TEST(Protocol, RejectsDuplicateFields)
@@ -146,6 +152,7 @@ TEST(Protocol, RejectsMissingRequiredFields)
                  ParseError);  // No payload.
     EXPECT_THROW(parseRequestHeader("geyser/1 status"), ParseError);
     EXPECT_THROW(parseRequestHeader("geyser/1 result"), ParseError);
+    EXPECT_THROW(parseRequestHeader("geyser/1 trace"), ParseError);
 }
 
 TEST(Protocol, RejectsBadNumbers)

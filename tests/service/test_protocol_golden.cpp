@@ -62,23 +62,38 @@ loadGolden(const std::string &path)
     return records;
 }
 
-std::string
-goldenPath()
+/** Both pinned transcripts: the original v1 grammar and the PR-7
+ *  observability verbs (metrics/trace), kept in a separate file so the
+ *  original stays byte-identical across PRs. */
+std::vector<std::string>
+goldenPaths()
 {
-    return std::string(GEYSER_SERVICE_GOLDEN_DIR) + "/protocol_v1.txt";
+    const std::string dir(GEYSER_SERVICE_GOLDEN_DIR);
+    return {dir + "/protocol_v1.txt", dir + "/protocol_v1_obs.txt"};
+}
+
+std::vector<GoldenRecord>
+loadAllGolden()
+{
+    std::vector<GoldenRecord> all;
+    for (const std::string &path : goldenPaths()) {
+        auto records = loadGolden(path);
+        all.insert(all.end(), records.begin(), records.end());
+    }
+    return all;
 }
 
 }  // namespace
 
 TEST(ProtocolGolden, TranscriptIsNonTrivial)
 {
-    const auto records = loadGolden(goldenPath());
-    EXPECT_GE(records.size(), 12u);
+    EXPECT_GE(loadGolden(goldenPaths()[0]).size(), 12u);
+    EXPECT_GE(loadGolden(goldenPaths()[1]).size(), 5u);
 }
 
 TEST(ProtocolGolden, EveryFrameParsesAndReEncodesByteExact)
 {
-    for (const GoldenRecord &record : loadGolden(goldenPath())) {
+    for (const GoldenRecord &record : loadAllGolden()) {
         SCOPED_TRACE(record.name);
         if (record.isRequest) {
             Request parsed;
@@ -97,6 +112,6 @@ TEST(ProtocolGolden, MagicTokenIsPinnedToVersionOne)
     // The transcript file pins grammar v1; if kProtocolVersion moves,
     // a new golden file must be cut alongside it.
     EXPECT_EQ(kProtocolVersion, 1);
-    for (const GoldenRecord &record : loadGolden(goldenPath()))
+    for (const GoldenRecord &record : loadAllGolden())
         EXPECT_EQ(record.bytes.rfind("geyser/1 ", 0), 0u) << record.name;
 }

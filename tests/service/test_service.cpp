@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <fstream>
 #include <future>
 #include <string>
 #include <thread>
@@ -19,6 +20,10 @@
 #include "cache/result_cache.hpp"
 #include "common/error.hpp"
 #include "io/serialize.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/prometheus.hpp"
+#include "service/access_log.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
@@ -613,4 +618,214 @@ TEST(SocketService, HandleRejectsOversizeSubmitInline)
     ASSERT_FALSE(response.ok);
     EXPECT_EQ(*response.find("kind"), "validation");
     EXPECT_FALSE(closeConnection);
+}
+
+// ---- PR 7: observability ---------------------------------------------
+
+TEST(ServiceObservability, ServiceMetricsCountWithTracingOff)
+{
+    obs::setEnabled(false);
+    obs::reset();
+    ServiceConfig config;
+    config.workers = 2;
+    CompileService service(config);
+
+    const uint64_t ok = service.submit(specFor("multiplier-5"));
+    EXPECT_EQ(waitTerminal(service, ok).state, JobState::Done);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.done, 1);
+    // The always-on service domain agrees with ServiceStats even though
+    // span tracing is off.
+    EXPECT_EQ(obs::serviceCounter("service.submitted").value(),
+              stats.submitted);
+    EXPECT_EQ(obs::serviceCounter("service.done").value(), stats.done);
+    {
+        // Deterministic cancel: a workers=0 service freezes the job in
+        // its queue, so the cancelled-while-queued counter must move.
+        ServiceConfig frozen;
+        frozen.workers = 0;
+        CompileService held(frozen);
+        const uint64_t doomed = held.submit(specFor("multiplier-5"));
+        held.cancel(doomed);
+        EXPECT_EQ(held.stats().cancelled, 1);
+        EXPECT_EQ(obs::serviceCounter("service.cancelled").value(), 1);
+        EXPECT_EQ(obs::serviceCounter("service.submitted").value(),
+                  stats.submitted + 1);
+    }
+    EXPECT_EQ(obs::serviceGauge("service.queue_depth").value(), 0.0);
+    EXPECT_EQ(obs::serviceGauge("service.in_flight").value(), 0.0);
+    EXPECT_GE(obs::serviceHistogram("service.queue_wait_ms")
+                  .snapshot().count, 1);
+    EXPECT_GE(obs::serviceHistogram("service.compile_ms").snapshot().count,
+              1);
+    EXPECT_GE(obs::serviceHistogram("service.e2e_ms").snapshot().count, 1);
+    // And the ring stayed quiet: no span collection without the flag.
+    EXPECT_TRUE(obs::events().empty());
+    EXPECT_EQ(obs::eventsDropped(), 0);
+    // The live exposition carries the series the CI smoke scrapes.
+    const std::string text = obs::prometheusText();
+    EXPECT_NE(text.find("geyser_jobs_total{outcome=\"done\"} 1\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("geyser_compile_seconds_bucket"),
+              std::string::npos);
+    EXPECT_NE(text.find("geyser_queue_depth 0\n"), std::string::npos);
+}
+
+TEST(ServiceObservability, StatsAgreeWithObsRegistryWhenTracingOn)
+{
+    obs::setEnabled(true);
+    obs::reset();
+    ServiceConfig config;
+    config.workers = 2;
+    CompileService service(config);
+    const uint64_t id = service.submit(specFor("multiplier-5"));
+    EXPECT_EQ(waitTerminal(service, id).state, JobState::Done);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(obs::serviceCounter("service.done").value(), stats.done);
+    EXPECT_EQ(obs::serviceCounter("service.submitted").value(),
+              stats.submitted);
+    obs::setEnabled(false);
+    obs::reset();
+}
+
+TEST(ServiceObservability, MetricsVerbServesPrometheusText)
+{
+    obs::setEnabled(false);
+    obs::reset();
+    ServiceConfig config;
+    config.workers = 2;
+    TcpHarness harness(config);
+
+    const uint64_t id = harness.service.submit(specFor("multiplier-5"));
+    waitTerminal(harness.service, id);
+
+    Request request;
+    request.verb = Verb::Metrics;
+    bool closeConnection = false;
+    const Response response =
+        harness.server.handle(request, &closeConnection);
+    ASSERT_TRUE(response.ok);
+    ASSERT_NE(response.find("format"), nullptr);
+    EXPECT_EQ(*response.find("format"), "prometheus");
+    ASSERT_TRUE(response.hasPayload);
+    EXPECT_NE(response.payload.find("# TYPE geyser_jobs_total counter"),
+              std::string::npos)
+        << response.payload;
+    EXPECT_NE(
+        response.payload.find("geyser_jobs_total{outcome=\"done\"} 1\n"),
+        std::string::npos);
+    EXPECT_FALSE(closeConnection);
+}
+
+TEST(ServiceObservability, TraceVerbServesPerJobChromeTrace)
+{
+    obs::setEnabled(false);
+    obs::reset();
+    ServiceConfig config;
+    config.workers = 2;
+    TcpHarness harness(config);
+
+    const uint64_t id = harness.service.submit(specFor("multiplier-5"));
+    EXPECT_EQ(waitTerminal(harness.service, id).state, JobState::Done);
+
+    Request request;
+    request.verb = Verb::Trace;
+    request.id = id;
+    bool closeConnection = false;
+    const Response response =
+        harness.server.handle(request, &closeConnection);
+    ASSERT_TRUE(response.ok) << response.payload;
+    EXPECT_EQ(*response.find("id"), std::to_string(id));
+    EXPECT_EQ(*response.find("dropped"), "0");
+    ASSERT_TRUE(response.hasPayload);
+    // The payload is loadable Chrome trace JSON with the job's spans.
+    const obs::Json doc = obs::Json::parse(response.payload);
+    const obs::Json *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool sawJob = false, sawCompile = false, sawCompose = false;
+    for (const obs::Json &e : events->items()) {
+        const std::string name =
+            e.find("name") != nullptr ? e.find("name")->str() : "";
+        sawJob = sawJob || name == "service.job";
+        sawCompile = sawCompile || name == "compile";
+        sawCompose = sawCompose || name == "compose.block";
+    }
+    EXPECT_TRUE(sawJob);
+    EXPECT_TRUE(sawCompile);
+    EXPECT_TRUE(sawCompose)
+        << "parallel compose spans must join the job trace";
+
+    // Unknown job ids are a structured 404, not an empty trace.
+    Request missing;
+    missing.verb = Verb::Trace;
+    missing.id = id + 1000;
+    const Response notFound =
+        harness.server.handle(missing, &closeConnection);
+    ASSERT_FALSE(notFound.ok);
+    EXPECT_EQ(*notFound.find("kind"), "not_found");
+}
+
+TEST(ServiceObservability, AccessLogWritesOneJsonlLinePerTerminalJob)
+{
+    obs::setEnabled(false);
+    obs::reset();
+    const std::string dir = tempDir("accesslog");
+    const std::string path = dir + "/access.jsonl";
+    AccessLog accessLog(path);
+
+    {
+        ServiceConfig config;
+        config.workers = 2;
+        config.accessLog = &accessLog;
+        CompileService service(config);
+        JobSpec spec = specFor("multiplier-5");
+        spec.peer = "tcp:127.0.0.1:5555";
+        const uint64_t done = service.submit(spec);
+        waitTerminal(service, done);
+        service.shutdown(/*drain=*/true);
+    }
+    {
+        // A workers=0 service freezes the job in the queue, so the
+        // cancel deterministically takes the cancelled-while-queued
+        // path (and must still produce an access-log line).
+        ServiceConfig config;
+        config.workers = 0;
+        config.accessLog = &accessLog;
+        CompileService service(config);
+        const uint64_t cancelled = service.submit(specFor("multiplier-5"));
+        service.cancel(cancelled);
+        waitTerminal(service, cancelled);
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    int lines = 0;
+    bool sawDone = false, sawCancelled = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ++lines;
+        const obs::Json row = obs::Json::parse(line);
+        ASSERT_NE(row.find("id"), nullptr) << line;
+        ASSERT_NE(row.find("outcome"), nullptr) << line;
+        ASSERT_NE(row.find("queue_us"), nullptr) << line;
+        ASSERT_NE(row.find("cache_hit"), nullptr) << line;
+        const std::string outcome = row.find("outcome")->str();
+        if (outcome == "done") {
+            sawDone = true;
+            EXPECT_EQ(row.find("peer")->str(), "tcp:127.0.0.1:5555");
+            EXPECT_GT(row.find("compile_us")->number(), 0.0);
+            EXPECT_NE(row.find("total_pulses"), nullptr);
+        } else if (outcome == "cancelled") {
+            sawCancelled = true;
+            EXPECT_EQ(row.find("peer")->str(), "local");
+            EXPECT_NE(row.find("error_kind"), nullptr);
+        }
+    }
+    EXPECT_EQ(lines, 2);
+    EXPECT_TRUE(sawDone);
+    EXPECT_TRUE(sawCancelled);
 }

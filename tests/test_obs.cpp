@@ -44,6 +44,9 @@ class ObsTest : public ::testing::Test
     {
         obs::setEnabled(false);
         obs::reset();
+        // Restore the process-wide capacity knobs tests may shrink.
+        obs::setEventCapacity(obs::kDefaultEventCapacity);
+        obs::setTraceLimits(2048, 64);
     }
 };
 
@@ -426,6 +429,255 @@ TEST_F(ObsTest, SerializeRoundTripsWallTimes)
     EXPECT_DOUBLE_EQ(loaded->totalMs, result.totalMs);
 }
 
+TEST_F(ObsTest, RingBufferBoundsEventsAndCountsDrops)
+{
+    obs::setEnabled(true);
+    obs::setEventCapacity(8);
+    EXPECT_EQ(obs::eventCapacity(), 8u);
+    for (int i = 0; i < 20; ++i) {
+        obs::Span span(i < 12 ? "old.span" : "new.span");
+    }
+    const auto events = obs::events();
+    ASSERT_EQ(events.size(), 8u) << "ring must stay at capacity";
+    EXPECT_EQ(obs::eventsDropped(), 12);
+    // The survivors are the newest events, oldest-first order.
+    for (const auto &e : events)
+        EXPECT_EQ(e.name, "new.span");
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].tsMicros, events[i - 1].tsMicros);
+    // The drop counter is a first-class metric for scrapes/reports.
+    bool sawDropCounter = false;
+    for (const auto &[name, value] : obs::metricsSnapshot().counters)
+        if (name == "obs.events_dropped") {
+            sawDropCounter = true;
+            EXPECT_EQ(value, 12);
+        }
+    EXPECT_TRUE(sawDropCounter);
+    EXPECT_EQ(obs::counter("obs.events_dropped").value(), 12);
+    // Shrinking keeps the newest events and counts the discards.
+    obs::setEventCapacity(2);
+    EXPECT_EQ(obs::events().size(), 2u);
+    EXPECT_EQ(obs::eventsDropped(), 18);
+    obs::reset();
+    EXPECT_EQ(obs::eventsDropped(), 0);
+}
+
+TEST_F(ObsTest, ServiceDomainCountsWhileTracingDisabled)
+{
+    ASSERT_FALSE(obs::enabled());
+    obs::Counter &c = obs::serviceCounter("svc.counter");
+    obs::Gauge &g = obs::serviceGauge("svc.gauge");
+    obs::Histogram &h = obs::serviceHistogram("svc.hist");
+    c.add(3);
+    g.set(7.5);
+    h.record(4.0);
+    EXPECT_EQ(c.value(), 3) << "service domain must count with tracing off";
+    EXPECT_EQ(g.value(), 7.5);
+    EXPECT_EQ(h.snapshot().count, 1);
+    // Trace-domain metrics stay silent in the same mode.
+    obs::counter("svc.plain").add(3);
+    EXPECT_EQ(obs::counter("svc.plain").value(), 0);
+    // Both domains count when tracing is on.
+    obs::setEnabled(true);
+    c.add();
+    obs::counter("svc.plain").add();
+    EXPECT_EQ(c.value(), 4);
+    EXPECT_EQ(obs::counter("svc.plain").value(), 1);
+}
+
+TEST_F(ObsTest, ServicePromotionIsStickyAndSharesTheEntry)
+{
+    // The same name reached through both accessors is one metric, and
+    // promotion to the service domain survives later counter() lookups.
+    obs::Counter &plain = obs::counter("svc.shared");
+    obs::Counter &promoted = obs::serviceCounter("svc.shared");
+    EXPECT_EQ(&plain, &promoted);
+    ASSERT_FALSE(obs::enabled());
+    obs::counter("svc.shared").add(2);
+    EXPECT_EQ(plain.value(), 2);
+}
+
+TEST_F(ObsTest, TraceContextCapturesSpansWhileGloballyDisabled)
+{
+    ASSERT_FALSE(obs::enabled());
+    obs::beginTrace(7);
+    {
+        obs::TraceScope scope(7);
+        obs::Span span("traced.work", "test");
+        span.arg("n", 1.0);
+        obs::Span child("traced.child", "test");
+    }
+    {
+        obs::Span outside("untraced.work");
+    }
+    EXPECT_TRUE(obs::events().empty())
+        << "the global ring must stay quiet while disabled";
+    ASSERT_TRUE(obs::hasTrace(7));
+    const auto events = obs::traceEvents(7);
+    ASSERT_EQ(events.size(), 2u);
+    for (const auto &e : events)
+        EXPECT_EQ(e.traceId, 7u);
+    EXPECT_NE(findEvent(events, "traced.work"), nullptr);
+    EXPECT_NE(findEvent(events, "traced.child"), nullptr);
+    EXPECT_EQ(findEvent(events, "untraced.work"), nullptr);
+    EXPECT_EQ(obs::traceDropped(7), 0);
+    // The per-trace event set renders as loadable Chrome trace JSON.
+    const obs::Json doc = obs::Json::parse(
+        obs::chromeTraceJson(events, obs::threadNames()));
+    const obs::Json *rendered = doc.find("traceEvents");
+    ASSERT_NE(rendered, nullptr);
+    bool sawTraceId = false;
+    for (const obs::Json &e : rendered->items()) {
+        const obs::Json *args = e.find("args");
+        if (args != nullptr && args->find("trace_id") != nullptr)
+            sawTraceId = true;
+    }
+    EXPECT_TRUE(sawTraceId);
+}
+
+TEST_F(ObsTest, TraceScopeZeroIsNoOpAndScopesNest)
+{
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+    {
+        obs::TraceScope outer(11);
+        EXPECT_EQ(obs::currentTraceId(), 11u);
+        {
+            // The pool-propagation idiom: TraceScope(currentTraceId())
+            // re-enters the context, TraceScope(0) must not clear it.
+            obs::TraceScope noop(0);
+            EXPECT_EQ(obs::currentTraceId(), 11u);
+            obs::TraceScope inner(12);
+            EXPECT_EQ(obs::currentTraceId(), 12u);
+        }
+        EXPECT_EQ(obs::currentTraceId(), 11u);
+    }
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+}
+
+TEST_F(ObsTest, TraceBuffersAreBoundedAndEvictedLru)
+{
+    obs::setTraceLimits(4, 2);
+    obs::beginTrace(1);
+    {
+        obs::TraceScope scope(1);
+        for (int i = 0; i < 10; ++i) {
+            obs::Span span("burst.span");
+        }
+    }
+    EXPECT_EQ(obs::traceEvents(1).size(), 4u);
+    EXPECT_EQ(obs::traceDropped(1), 6);
+    // Two more traces evict the oldest buffer (retained cap is 2).
+    obs::beginTrace(2);
+    obs::beginTrace(3);
+    EXPECT_FALSE(obs::hasTrace(1));
+    EXPECT_TRUE(obs::hasTrace(2));
+    EXPECT_TRUE(obs::hasTrace(3));
+    const auto ids = obs::traceIds();
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], 2u);
+    EXPECT_EQ(ids[1], 3u);
+    EXPECT_TRUE(obs::traceEvents(1).empty());
+    EXPECT_EQ(obs::traceDropped(1), -1);
+}
+
+TEST_F(ObsTest, TraceContextPropagatesAcrossThePipelinePool)
+{
+    // The real per-job path: compile under a trace context with global
+    // tracing off. Compose-block spans run on pool workers, so this
+    // fails unless the pipeline re-enters the scope per block.
+    ASSERT_FALSE(obs::enabled());
+    obs::beginTrace(42);
+    {
+        obs::TraceScope scope(42);
+        const CompileResult result = compileGeyser(adderBenchmark(1, true));
+        EXPECT_GT(result.blockCount, 0);
+    }
+    const auto events = obs::traceEvents(42);
+    EXPECT_NE(findEvent(events, "compile"), nullptr);
+    EXPECT_NE(findEvent(events, "transpile"), nullptr);
+    EXPECT_NE(findEvent(events, "compose"), nullptr);
+    EXPECT_NE(findEvent(events, "compose.block"), nullptr)
+        << "pool workers must inherit the submitting thread's trace";
+    EXPECT_TRUE(obs::events().empty());
+}
+
+TEST_F(ObsTest, PercentileBucketEdges)
+{
+    obs::setEnabled(true);
+    // Empty histogram: all percentiles are 0.
+    EXPECT_DOUBLE_EQ(obs::histogram("edge.empty").snapshot().percentile(0.5),
+                     0.0);
+    // A single sample is every percentile.
+    obs::Histogram &one = obs::histogram("edge.one");
+    one.record(5.0);
+    const auto oneSnap = one.snapshot();
+    EXPECT_DOUBLE_EQ(oneSnap.percentile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(oneSnap.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(oneSnap.percentile(1.0), 5.0);
+    // Values exactly at the base-2 edges: 2^i opens bucket i+1
+    // ([2^i, 2^(i+1))), so the percentile's bucket bound covers it.
+    obs::Histogram &edges = obs::histogram("edge.pow2");
+    for (const double v : {1.0, 2.0, 4.0, 8.0})
+        edges.record(v);
+    const auto edgeSnap = edges.snapshot();
+    EXPECT_DOUBLE_EQ(edgeSnap.min, 1.0);
+    EXPECT_DOUBLE_EQ(edgeSnap.max, 8.0);
+    EXPECT_DOUBLE_EQ(edgeSnap.percentile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(edgeSnap.percentile(1.0), 8.0);
+    EXPECT_GE(edgeSnap.percentile(0.5), 2.0);
+    // Sub-1 values all land in bucket 0 with upper bound 1.
+    obs::Histogram &tiny = obs::histogram("edge.tiny");
+    for (int i = 0; i < 8; ++i)
+        tiny.record(0.1);
+    const auto tinySnap = tiny.snapshot();
+    EXPECT_EQ(tinySnap.buckets[0], 8);
+    EXPECT_LE(tinySnap.percentile(0.99), 1.0);
+    EXPECT_DOUBLE_EQ(tinySnap.percentile(1.0), 0.1)
+        << "percentile never exceeds the observed max";
+}
+
+TEST_F(ObsTest, ScrapeWhileRecordingIsRaceFree)
+{
+    // A live daemon is scraped (metricsSnapshot/events) and reset while
+    // workers record spans and bump metrics. Run all of it concurrently
+    // for a bounded burst — the sanitizer presets turn any data race or
+    // iterator invalidation into a failure.
+    obs::setEnabled(true);
+    obs::setEventCapacity(128);
+    std::atomic<bool> stop{false};
+    std::thread recorder([&] {
+        obs::TraceScope scope(99);
+        while (!stop.load()) {
+            obs::Span span("race.span", "test");
+            obs::serviceCounter("race.counter").add();
+            obs::serviceHistogram("race.hist").record(3.0);
+        }
+    });
+    std::thread tracer([&] {
+        while (!stop.load()) {
+            obs::beginTrace(99);
+            (void)obs::traceEvents(99);
+            (void)obs::hasTrace(99);
+        }
+    });
+    std::thread scraper([&] {
+        while (!stop.load()) {
+            const auto snap = obs::metricsSnapshot();
+            EXPECT_LE(obs::events().size(), obs::eventCapacity());
+            (void)snap;
+        }
+    });
+    for (int i = 0; i < 20; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        if (i % 5 == 4)
+            obs::reset();
+    }
+    stop.store(true);
+    recorder.join();
+    tracer.join();
+    scraper.join();
+}
+
 TEST_F(ObsTest, DisabledHooksStayCheap)
 {
     ASSERT_FALSE(obs::enabled());
@@ -442,10 +694,26 @@ TEST_F(ObsTest, DisabledHooksStayCheap)
             .count() /
         kIters;
     EXPECT_EQ(c.value(), 0);
-    // One span + one counter hook. Each is an atomic load and branch
-    // (~1 ns); 100 ns/pair leaves two orders of headroom for CI noise.
-    EXPECT_LT(ns, 100.0) << "disabled obs hooks cost " << ns
-                         << " ns per span+counter pair";
+    RecordProperty("ns_per_pair", std::to_string(ns));
+    std::printf("disabled span+counter pair: %.2f ns\n", ns);
+    // One span + one counter hook: an atomic load, a thread-local read,
+    // and predicted branches (~4 ns measured); 100 ns/pair leaves an
+    // order of headroom for CI noise. Sanitizer instrumentation slows
+    // every load severalfold — and the suite runs in parallel — so
+    // those builds get a proportionally looser bound.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    constexpr double kBound = 1000.0;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    constexpr double kBound = 1000.0;
+#else
+    constexpr double kBound = 100.0;
+#endif
+#else
+    constexpr double kBound = 100.0;
+#endif
+    EXPECT_LT(ns, kBound) << "disabled obs hooks cost " << ns
+                          << " ns per span+counter pair";
 }
 
 }  // namespace

@@ -8,16 +8,24 @@ payload, both newline-terminated:
     <N raw payload bytes>\n
 
 Subcommands mirror the protocol verbs (ping, submit, status, result,
-cancel, stats, shutdown) plus `smoke`, the CI driver: it submits every
-given QASM file `--repeat` times (duplicates exercise the cache /
-single-flight path), waits for all results, and fails loudly unless
-every job lands in `done` with a QASM payload and the duplicates were
-served as cache hits.
+cancel, stats, shutdown, metrics, trace) plus two drivers:
+
+`smoke`, the CI driver: it submits every given QASM file `--repeat`
+times (duplicates exercise the cache / single-flight path), waits for
+all results, and fails loudly unless every job lands in `done` with a
+QASM payload and the duplicates were served as cache hits.
+
+`watch`, a terminal dashboard: it scrapes the `metrics` verb every
+`--interval` seconds and renders the headline service series (queue
+depth, in-flight, job outcomes, latency percentiles) until ^C.
 
 Examples:
     geyser_client.py --port 7421 ping
     geyser_client.py --port 7421 submit examples/bell.qasm
     geyser_client.py --port 7421 smoke examples/*.qasm --repeat 2
+    geyser_client.py --port 7421 metrics          # one Prometheus scrape
+    geyser_client.py --port 7421 trace 3 > job3.json   # open in Perfetto
+    geyser_client.py --port 7421 watch --interval 1
 """
 
 import argparse
@@ -142,6 +150,14 @@ class GeyserClient:
              "cache=%s" % ("on" if cache else "off")],
             payload=qasm)
 
+    def metrics(self):
+        """Prometheus text-format scrape of the daemon's live registry."""
+        return self._round_trip(["metrics"])
+
+    def trace(self, job_id):
+        """Chrome trace JSON of one job's pipeline spans (Perfetto)."""
+        return self._round_trip(["trace", "id=%d" % job_id])
+
     def status(self, job_id):
         return self._round_trip(["status", "id=%d" % job_id])
 
@@ -220,6 +236,63 @@ def smoke(client, paths, repeat):
     return 0
 
 
+def parse_prometheus(text):
+    """Parse exposition text into {series_with_labels: float}."""
+    series = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            series[name] = float(value)
+        except ValueError:
+            continue
+    return series
+
+
+def watch(client, interval):
+    """Scrape `metrics` every `interval` seconds, render a one-screen
+    summary of the service series until interrupted."""
+    headline = [
+        ("queue", "geyser_queue_depth"),
+        ("running", "geyser_jobs_in_flight"),
+        ("done", 'geyser_jobs_total{outcome="done"}'),
+        ("failed", 'geyser_jobs_total{outcome="failed"}'),
+        ("cancelled", 'geyser_jobs_total{outcome="cancelled"}'),
+        ("expired", 'geyser_jobs_total{outcome="expired"}'),
+        ("rejected", 'geyser_jobs_total{outcome="rejected"}'),
+        ("cache_hit%", "geyser_cache_hit_ratio"),
+    ]
+    try:
+        while True:
+            response = client.metrics()
+            if not response.ok:
+                print("metrics scrape failed: %r" % response)
+                return 1
+            series = parse_prometheus(response.payload.decode())
+            parts = []
+            for label, key in headline:
+                value = series.get(key)
+                if value is None:
+                    continue
+                if label == "cache_hit%":
+                    parts.append("%s=%.0f%%" % (label, 100.0 * value))
+                else:
+                    parts.append("%s=%d" % (label, int(value)))
+            for hist in ("geyser_compile_seconds", "geyser_e2e_seconds"):
+                count = series.get(hist + "_count")
+                total = series.get(hist + "_sum")
+                if count:
+                    parts.append("%s_avg=%.3fs" % (
+                        hist.replace("geyser_", "").replace("_seconds", ""),
+                        total / count))
+            print(time.strftime("%H:%M:%S"), " ".join(parts), flush=True)
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--host", default="127.0.0.1")
@@ -229,6 +302,10 @@ def main():
     sub.add_parser("ping")
     sub.add_parser("stats")
     sub.add_parser("shutdown")
+    sub.add_parser("metrics")
+    sub.add_parser("trace").add_argument("id", type=int)
+    p = sub.add_parser("watch")
+    p.add_argument("--interval", type=float, default=2.0)
     p = sub.add_parser("submit")
     p.add_argument("file")
     p.add_argument("--technique", default="geyser")
@@ -255,6 +332,20 @@ def main():
             return show(client.stats())
         if args.verb == "shutdown":
             return show(client.shutdown())
+        if args.verb == "metrics":
+            response = client.metrics()
+            if not response.ok:
+                return show(response)
+            sys.stdout.write(response.payload.decode(errors="replace"))
+            return 0
+        if args.verb == "trace":
+            response = client.trace(args.id)
+            if not response.ok:
+                return show(response)
+            sys.stdout.write(response.payload.decode(errors="replace"))
+            return 0
+        if args.verb == "watch":
+            return watch(client, args.interval)
         if args.verb == "submit":
             with open(args.file, "rb") as f:
                 qasm = f.read()

@@ -24,6 +24,10 @@
  *   --trace <file>         write a Chrome trace_event JSON of the run
  *                          (open in chrome://tracing or ui.perfetto.dev)
  *   --metrics <file>       write the JSONL span/metric log of the run
+ *   --prom <file>          write a Prometheus text-format dump of the
+ *                          run's counters/gauges/histograms ('-' for
+ *                          stdout) — same exposition geyserd serves
+ *                          live via the `metrics` wire verb
  *   --cache-dir <dir>      serve/store compiles through the persistent
  *                          result cache rooted at <dir> (crash-safe,
  *                          checksummed; corrupt entries recompute).
@@ -47,6 +51,7 @@
 #include "io/qasm_parser.hpp"
 #include "io/serialize.hpp"
 #include "obs/obs.hpp"
+#include "obs/prometheus.hpp"
 #include "pulse/pulse.hpp"
 #include "verify/differential.hpp"
 #include "verify/equivalence.hpp"
@@ -66,7 +71,7 @@ usage(const char *argv0)
                  "  --output <file>   --format qasm|text\n"
                  "  --evaluate        --noise <rate>  --trajectories <n>\n"
                  "  --verify          --quiet\n"
-                 "  --trace <file>    --metrics <file>\n"
+                 "  --trace <file>    --metrics <file>  --prom <file>\n"
                  "  --cache-dir <dir> --no-cache\n",
                  argv0, argv0);
     std::exit(2);
@@ -162,7 +167,7 @@ int
 main(int argc, char **argv)
 {
     std::string input, benchmark, output, format = "qasm";
-    std::string tracePath, metricsPath, cacheDir;
+    std::string tracePath, metricsPath, promPath, cacheDir;
     Technique technique = Technique::Geyser;
     bool evaluate = false, quiet = false, draw = false, pulses = false;
     bool verifyMode = false, noCache = false;
@@ -203,6 +208,8 @@ main(int argc, char **argv)
                 tracePath = next();
             else if (arg == "--metrics")
                 metricsPath = next();
+            else if (arg == "--prom")
+                promPath = next();
             else if (arg == "--cache-dir")
                 cacheDir = next();
             else if (arg == "--no-cache")
@@ -234,7 +241,8 @@ main(int argc, char **argv)
             logical = circuitFromQasm(text.str());
         }
 
-        const bool tracing = !tracePath.empty() || !metricsPath.empty();
+        const bool tracing = !tracePath.empty() || !metricsPath.empty() ||
+                             !promPath.empty();
         if (tracing) {
             obs::setEnabled(true);
             obs::setThreadName("main");
@@ -250,6 +258,15 @@ main(int argc, char **argv)
             }
             if (!metricsPath.empty())
                 obs::writeMetricsJsonl(metricsPath);
+            if (!promPath.empty()) {
+                const std::string text = obs::prometheusText();
+                if (promPath == "-") {
+                    std::fwrite(text.data(), 1, text.size(), stdout);
+                } else {
+                    std::ofstream out(promPath);
+                    out << text;
+                }
+            }
         };
 
         if (verifyMode) {

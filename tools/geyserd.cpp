@@ -21,6 +21,8 @@
  *   --cache-dir <dir>  persistent result cache rooted at <dir>
  *                      (defaults to $GEYSER_CACHE_DIR when set)
  *   --no-cache         compile uncached even if GEYSER_CACHE_DIR is set
+ *   --access-log <f>   append one JSONL line per finished job (id,
+ *                      peer, outcome, queue/compile micros, cache hit)
  *   --trace <file>     write a Chrome trace_event JSON on exit
  *   --metrics <file>   write the JSONL span/metric log on exit
  *   --report <file>    write a structured run report on exit (the CI
@@ -36,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include <unistd.h>
@@ -44,6 +47,7 @@
 #include "common/error.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "service/access_log.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
 
@@ -60,7 +64,7 @@ usage(const char *argv0)
                  "options:\n"
                  "  --port <n>        --socket <path>\n"
                  "  --workers <n>     --max-queued <n>  --deadline-ms <n>\n"
-                 "  --cache-dir <dir> --no-cache\n"
+                 "  --cache-dir <dir> --no-cache       --access-log <file>\n"
                  "  --trace <file>    --metrics <file>  --report <file>\n",
                  argv0);
     std::exit(2);
@@ -100,7 +104,7 @@ requestShutdown(int)
 int
 main(int argc, char **argv)
 {
-    std::string socketPath, cacheDir;
+    std::string socketPath, cacheDir, accessLogPath;
     std::string tracePath, metricsPath, reportPath;
     int port = 0;
     int workers = -1;
@@ -132,6 +136,8 @@ main(int argc, char **argv)
                 cacheDir = next();
             else if (arg == "--no-cache")
                 noCache = true;
+            else if (arg == "--access-log")
+                accessLogPath = next();
             else if (arg == "--trace")
                 tracePath = next();
             else if (arg == "--metrics")
@@ -160,10 +166,15 @@ main(int argc, char **argv)
             cacheConfig.enabled = false;
         cache::ResultCache resultCache(cacheConfig);
 
+        std::unique_ptr<AccessLog> accessLog;
+        if (!accessLogPath.empty())
+            accessLog = std::make_unique<AccessLog>(accessLogPath);
+
         ServiceConfig serviceConfig;
         serviceConfig.workers = workers;
         serviceConfig.maxQueuedJobs = static_cast<int>(maxQueued);
         serviceConfig.defaultDeadlineMs = deadlineMs;
+        serviceConfig.accessLog = accessLog.get();
         if (resultCache.enabled())
             serviceConfig.cache = &resultCache;
         CompileService compileService(serviceConfig);
