@@ -1,7 +1,10 @@
 #include "compose/ansatz.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+
+#include "linalg/kernels/backend.hpp"
 
 namespace geyser {
 
@@ -138,70 +141,76 @@ Ansatz::overlapTrace(const Matrix &target,
         throw std::invalid_argument("overlapTrace: wrong angle count");
 
     // cur = running product, built column by column. All buffers are
-    // 8x8 max, row-major, on the stack.
-    Complex cur[256], tmp[256], u3s[4][4];
+    // 16x16 max, split row-major, on the stack. The matrix algebra is
+    // PINNED to the scalar reference backend: this path is the 1e-12
+    // oracle every SIMD backend is property-tested against, so its
+    // arithmetic must not move when dispatch selects a different ISA.
+    const kernels::ComputeBackend &kernel = kernels::reference();
+    double curRe[256], curIm[256], tmpRe[256], tmpIm[256];
+    double colRe[256], colIm[256];
+    double u3sRe[4][4], u3sIm[4][4];
 
     auto loadColumn = [&](int col) {
         const int base = col * numQubits_ * 3;
-        for (int q = 0; q < numQubits_; ++q) {
-            const double th = angles[static_cast<size_t>(base + q * 3)];
-            const double ph = angles[static_cast<size_t>(base + q * 3 + 1)];
-            const double la = angles[static_cast<size_t>(base + q * 3 + 2)];
-            const double c = std::cos(th / 2.0), s = std::sin(th / 2.0);
-            u3s[q][0] = c;
-            u3s[q][1] = -std::exp(kI * la) * s;
-            u3s[q][2] = std::exp(kI * ph) * s;
-            u3s[q][3] = std::exp(kI * (ph + la)) * c;
-        }
+        for (int q = 0; q < numQubits_; ++q)
+            kernels::u3Entries(
+                angles[static_cast<size_t>(base + q * 3)],
+                angles[static_cast<size_t>(base + q * 3 + 1)],
+                angles[static_cast<size_t>(base + q * 3 + 2)], u3sRe[q],
+                u3sIm[q]);
     };
-    auto columnEntry = [&](int r, int c) {
-        Complex v = 1.0;
-        for (int q = 0; q < numQubits_; ++q) {
-            const int rb = (r >> q) & 1, cb = (c >> q) & 1;
-            v *= u3s[q][rb * 2 + cb];
-            if (v == Complex{})
-                return v;
+    // Kronecker entry C(r,c) = prod_q u3_q[r_q, c_q].
+    auto buildColumn = [&](double *re, double *im) {
+        for (int r = 0; r < dim; ++r) {
+            for (int c = 0; c < dim; ++c) {
+                double vre = 1.0, vim = 0.0;
+                for (int q = 0; q < numQubits_; ++q) {
+                    const int e = ((r >> q) & 1) * 2 + ((c >> q) & 1);
+                    const double ure = u3sRe[q][e], uim = u3sIm[q][e];
+                    const double nre = vre * ure - vim * uim;
+                    vim = vre * uim + vim * ure;
+                    vre = nre;
+                }
+                re[r * dim + c] = vre;
+                im[r * dim + c] = vim;
+            }
         }
-        return v;
     };
 
     loadColumn(0);
-    for (int r = 0; r < dim; ++r)
-        for (int c = 0; c < dim; ++c)
-            cur[r * dim + c] = columnEntry(r, c);
+    buildColumn(curRe, curIm);
 
     for (int l = 0; l < layers_; ++l) {
         // Diagonal entangler: flip the sign of the affected rows.
-        const int mask =
-            entanglerFlipMask(entanglers_[static_cast<size_t>(l)], numQubits_);
-        for (int r = 0; r < dim; ++r) {
-            if ((r & mask) == mask)
-                for (int c = 0; c < dim; ++c)
-                    cur[r * dim + c] = -cur[r * dim + c];
-        }
+        kernel.flipRows(
+            curRe, curIm,
+            entanglerFlipMask(entanglers_[static_cast<size_t>(l)],
+                              numQubits_),
+            dim);
         // cur = column(l+1) * cur.
         loadColumn(l + 1);
-        Complex colBuf[256];
-        for (int r = 0; r < dim; ++r)
-            for (int k = 0; k < dim; ++k)
-                colBuf[r * dim + k] = columnEntry(r, k);
-        for (int r = 0; r < dim; ++r) {
-            for (int c = 0; c < dim; ++c) {
-                Complex acc{};
-                for (int k = 0; k < dim; ++k)
-                    acc += colBuf[r * dim + k] * cur[k * dim + c];
-                tmp[r * dim + c] = acc;
-            }
-        }
-        for (int i = 0; i < dim * dim; ++i)
-            cur[i] = tmp[i];
+        buildColumn(colRe, colIm);
+        kernel.matmul(colRe, colIm, curRe, curIm, tmpRe, tmpIm, dim);
+        std::memcpy(curRe, tmpRe,
+                    sizeof(double) * static_cast<size_t>(dim * dim));
+        std::memcpy(curIm, tmpIm,
+                    sizeof(double) * static_cast<size_t>(dim * dim));
     }
 
-    Complex t{};
-    for (int r = 0; r < dim; ++r)
-        for (int c = 0; c < dim; ++c)
-            t += std::conj(target(r, c)) * cur[r * dim + c];
-    return t;
+    // sum conj(target) . cur, elementwise over the full matrices.
+    double tgtRe[256], tgtIm[256];
+    for (int r = 0; r < dim; ++r) {
+        for (int c = 0; c < dim; ++c) {
+            const Complex v = target(r, c);
+            tgtRe[r * dim + c] = v.real();
+            tgtIm[r * dim + c] = v.imag();
+        }
+    }
+    double tre = 0.0, tim = 0.0;
+    kernel.traceConjDot(tgtRe, tgtIm, curRe, curIm,
+                        static_cast<size_t>(dim) * static_cast<size_t>(dim),
+                        &tre, &tim);
+    return {tre, tim};
 }
 
 Circuit

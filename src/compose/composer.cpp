@@ -77,8 +77,8 @@ rotosolve(AnsatzEvaluator &evaluator, int max_sweeps, double stop_at,
                 evaluator.beginQubit(q);
                 for (int role = 0; role < 3; ++role) {
                     evaluations += 2;
-                    const Complex t0 = evaluator.probe(role, 0.0);
-                    const Complex t1 = evaluator.probe(role, kPi);
+                    Complex t0, t1;
+                    evaluator.probePair(role, 0.0, kPi, t0, t1);
 
                     double vstar;
                     double amp;

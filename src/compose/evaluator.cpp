@@ -2,39 +2,16 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
 
 namespace geyser {
 
-namespace {
-
-/** Split-complex d x d product: out = a * b (row-major). */
-void
-matmul(const double *are, const double *aim, const double *bre,
-       const double *bim, double *outRe, double *outIm, int d)
-{
-    for (int r = 0; r < d; ++r) {
-        for (int c = 0; c < d; ++c) {
-            double sre = 0.0, sim = 0.0;
-            for (int k = 0; k < d; ++k) {
-                const double xre = are[r * d + k], xim = aim[r * d + k];
-                const double yre = bre[k * d + c], yim = bim[k * d + c];
-                sre += xre * yre - xim * yim;
-                sim += xre * yim + xim * yre;
-            }
-            outRe[r * d + c] = sre;
-            outIm[r * d + c] = sim;
-        }
-    }
-}
-
-}  // namespace
-
 AnsatzEvaluator::AnsatzEvaluator(const Ansatz &ansatz, const Matrix &target)
     : numQubits_(ansatz.numQubits()), layers_(ansatz.layers()),
-      dim_(1 << ansatz.numQubits())
+      dim_(1 << ansatz.numQubits()), backend_(&kernels::active())
 {
     if (layers_ + 1 > kMaxColumns)
         throw std::invalid_argument(
@@ -55,27 +32,26 @@ AnsatzEvaluator::AnsatzEvaluator(const Ansatz &ansatz, const Matrix &target)
         }
     }
     angles_.assign(static_cast<size_t>(ansatz.numAngles()), 0.0);
+    for (auto &role : probeArgTrig_)
+        for (auto &way : role)
+            way[0] = std::numeric_limits<double>::quiet_NaN();
     setAngles(angles_);
 }
 
 void
 AnsatzEvaluator::loadU3(int col, int qubit)
 {
-    const double th = angle(col, qubit, 0);
-    const double ph = angle(col, qubit, 1);
-    const double la = angle(col, qubit, 2);
-    const double c = std::cos(th / 2.0), s = std::sin(th / 2.0);
-    const double cp = std::cos(ph), sp = std::sin(ph);
-    const double cl = std::cos(la), sl = std::sin(la);
-    double *re = u3Re_[col][qubit], *im = u3Im_[col][qubit];
-    re[0] = c;
-    im[0] = 0.0;
-    re[1] = -cl * s;  // -e^{i la} s
-    im[1] = -sl * s;
-    re[2] = cp * s;  // e^{i ph} s
-    im[2] = sp * s;
-    re[3] = (cp * cl - sp * sl) * c;  // e^{i (ph + la)} c
-    im[3] = (cp * sl + sp * cl) * c;
+    // Trig lands in the persistent cache first; the U3 entries are
+    // derived from it so the two never drift apart.
+    double *t = trigCache_[col][qubit];
+    t[0] = std::cos(angle(col, qubit, 0) / 2.0);
+    t[1] = std::sin(angle(col, qubit, 0) / 2.0);
+    t[2] = std::cos(angle(col, qubit, 1));
+    t[3] = std::sin(angle(col, qubit, 1));
+    t[4] = std::cos(angle(col, qubit, 2));
+    t[5] = std::sin(angle(col, qubit, 2));
+    kernels::u3EntriesFromTrig(t[0], t[1], t[2], t[3], t[4], t[5],
+                               u3Re_[col][qubit], u3Im_[col][qubit]);
 }
 
 void
@@ -96,28 +72,9 @@ void
 AnsatzEvaluator::applyColumnLeft(double *re, double *im, int col) const
 {
     // M := C_col . M, one 2x2 per qubit applied to row pairs.
-    const int d = dim_;
-    for (int q = 0; q < numQubits_; ++q) {
-        const double *ure = u3Re_[col][q], *uim = u3Im_[col][q];
-        const int bit = 1 << q;
-        for (int r0 = 0; r0 < d; ++r0) {
-            if (r0 & bit)
-                continue;
-            const int r1 = r0 | bit;
-            for (int c = 0; c < d; ++c) {
-                const double are = re[r0 * d + c], aim = im[r0 * d + c];
-                const double bre = re[r1 * d + c], bim = im[r1 * d + c];
-                re[r0 * d + c] = ure[0] * are - uim[0] * aim +
-                                 ure[1] * bre - uim[1] * bim;
-                im[r0 * d + c] = ure[0] * aim + uim[0] * are +
-                                 ure[1] * bim + uim[1] * bre;
-                re[r1 * d + c] = ure[2] * are - uim[2] * aim +
-                                 ure[3] * bre - uim[3] * bim;
-                im[r1 * d + c] = ure[2] * aim + uim[2] * are +
-                                 ure[3] * bim + uim[3] * bre;
-            }
-        }
-    }
+    for (int q = 0; q < numQubits_; ++q)
+        backend_->apply2x2Rows(re, im, u3Re_[col][q], u3Im_[col][q], 1 << q,
+                               dim_);
 }
 
 void
@@ -125,28 +82,9 @@ AnsatzEvaluator::applyColumnRight(double *re, double *im, int col) const
 {
     // M := M . C_col: (M C)(r,c) = sum_k M(r,k) C(k,c); the qubit-q
     // factor of C(k,c) is u3[k_q, c_q], so pair columns instead of rows.
-    const int d = dim_;
-    for (int q = 0; q < numQubits_; ++q) {
-        const double *ure = u3Re_[col][q], *uim = u3Im_[col][q];
-        const int bit = 1 << q;
-        for (int c0 = 0; c0 < d; ++c0) {
-            if (c0 & bit)
-                continue;
-            const int c1 = c0 | bit;
-            for (int r = 0; r < d; ++r) {
-                const double are = re[r * d + c0], aim = im[r * d + c0];
-                const double bre = re[r * d + c1], bim = im[r * d + c1];
-                re[r * d + c0] = are * ure[0] - aim * uim[0] +
-                                 bre * ure[2] - bim * uim[2];
-                im[r * d + c0] = are * uim[0] + aim * ure[0] +
-                                 bre * uim[2] + bim * ure[2];
-                re[r * d + c1] = are * ure[1] - aim * uim[1] +
-                                 bre * ure[3] - bim * uim[3];
-                im[r * d + c1] = are * uim[1] + aim * ure[1] +
-                                 bre * uim[3] + bim * ure[3];
-            }
-        }
-    }
+    for (int q = 0; q < numQubits_; ++q)
+        backend_->apply2x2Cols(re, im, u3Re_[col][q], u3Im_[col][q], 1 << q,
+                               dim_);
 }
 
 Complex
@@ -157,34 +95,19 @@ AnsatzEvaluator::trace() const
     fullTraces.add();
 
     const int d = dim_;
-    double mre[kMaxDim * kMaxDim], mim[kMaxDim * kMaxDim];
+    alignas(64) double mre[kMaxDim * kMaxDim], mim[kMaxDim * kMaxDim];
     std::memset(mre, 0, sizeof(double) * static_cast<size_t>(d * d));
     std::memset(mim, 0, sizeof(double) * static_cast<size_t>(d * d));
     for (int r = 0; r < d; ++r)
         mre[r * d + r] = 1.0;
     applyColumnLeft(mre, mim, 0);
     for (int l = 0; l < layers_; ++l) {
-        const int mask = flipMask_[l];
-        for (int r = 0; r < d; ++r) {
-            if ((r & mask) != mask)
-                continue;
-            for (int c = 0; c < d; ++c) {
-                mre[r * d + c] = -mre[r * d + c];
-                mim[r * d + c] = -mim[r * d + c];
-            }
-        }
+        backend_->flipRows(mre, mim, flipMask_[l], d);
         applyColumnLeft(mre, mim, l + 1);
     }
     // Tr(T^dagger U) = sum_{r,k} Td(r,k) U(k,r).
     double tre = 0.0, tim = 0.0;
-    for (int r = 0; r < d; ++r) {
-        for (int k = 0; k < d; ++k) {
-            const double are = tdRe_[r * d + k], aim = tdIm_[r * d + k];
-            const double bre = mre[k * d + r], bim = mim[k * d + r];
-            tre += are * bre - aim * bim;
-            tim += are * bim + aim * bre;
-        }
-    }
+    backend_->traceProduct(tdRe_, tdIm_, mre, mim, d, &tre, &tim);
     return {tre, tim};
 }
 
@@ -205,15 +128,7 @@ AnsatzEvaluator::beginSweep()
         std::memcpy(lenvRe_[col], lenvRe_[col + 1], bytes);
         std::memcpy(lenvIm_[col], lenvIm_[col + 1], bytes);
         applyColumnRight(lenvRe_[col], lenvIm_[col], col + 1);
-        const int mask = flipMask_[col];
-        for (int c = 0; c < d; ++c) {
-            if ((c & mask) != mask)
-                continue;
-            for (int r = 0; r < d; ++r) {
-                lenvRe_[col][r * d + c] = -lenvRe_[col][r * d + c];
-                lenvIm_[col][r * d + c] = -lenvIm_[col][r * d + c];
-            }
-        }
+        backend_->flipCols(lenvRe_[col], lenvIm_[col], flipMask_[col], d);
     }
     // Prefix starts empty: R(0) = I.
     std::memset(renvRe_, 0, bytes);
@@ -240,27 +155,19 @@ AnsatzEvaluator::beginColumn(int col)
         // Fold the previous (now committed) column into the prefix:
         // R(col) = E_{col-1} . C_{col-1} . R(col-1).
         applyColumnLeft(renvRe_, renvIm_, col - 1);
-        const int mask = flipMask_[col - 1];
-        for (int r = 0; r < d; ++r) {
-            if ((r & mask) != mask)
-                continue;
-            for (int c = 0; c < d; ++c) {
-                renvRe_[r * d + c] = -renvRe_[r * d + c];
-                renvIm_[r * d + c] = -renvIm_[r * d + c];
-            }
-        }
+        backend_->flipRows(renvRe_, renvIm_, flipMask_[col - 1], d);
     }
     // E = R . T^dagger . L(col); the edge columns skip one identity.
-    double tre[kMaxDim * kMaxDim], tim[kMaxDim * kMaxDim];
+    alignas(64) double tre[kMaxDim * kMaxDim], tim[kMaxDim * kMaxDim];
     const double *leftRe = tdRe_, *leftIm = tdIm_;
     if (col > 0) {
-        matmul(renvRe_, renvIm_, tdRe_, tdIm_, tre, tim, d);
+        backend_->matmul(renvRe_, renvIm_, tdRe_, tdIm_, tre, tim, d);
         leftRe = tre;
         leftIm = tim;
     }
     if (col < layers_) {
-        matmul(leftRe, leftIm, lenvRe_[col], lenvIm_[col], envRe_, envIm_,
-               d);
+        backend_->matmul(leftRe, leftIm, lenvRe_[col], lenvIm_[col], envRe_,
+                         envIm_, d);
     } else {
         const size_t bytes = sizeof(double) * static_cast<size_t>(d * d);
         std::memcpy(envRe_, leftRe, bytes);
@@ -278,54 +185,33 @@ AnsatzEvaluator::beginQubit(int qubit)
 
     if (curCol_ < 0)
         throw std::logic_error("AnsatzEvaluator::beginQubit: no column");
-    const int d = dim_;
-    const int n = numQubits_;
-    for (int i = 0; i < 4; ++i) {
-        wRe_[i] = 0.0;
-        wIm_[i] = 0.0;
-    }
-    // W[a,b] = sum over E(r,k) entries with k_q = a, r_q = b, weighted
-    // by the other qubits' U3 factors prod_{p!=q} u3_p[k_p, r_p].
-    for (int k = 0; k < d; ++k) {
-        for (int r = 0; r < d; ++r) {
-            double fre = 1.0, fim = 0.0;
-            for (int p = 0; p < n; ++p) {
-                if (p == qubit)
-                    continue;
-                const int e = ((k >> p) & 1) * 2 + ((r >> p) & 1);
-                const double ure = u3Re_[curCol_][p][e];
-                const double uim = u3Im_[curCol_][p][e];
-                const double nre = fre * ure - fim * uim;
-                fim = fre * uim + fim * ure;
-                fre = nre;
-            }
-            const double ere = envRe_[r * d + k], eim = envIm_[r * d + k];
-            const int idx = ((k >> qubit) & 1) * 2 + ((r >> qubit) & 1);
-            wRe_[idx] += fre * ere - fim * eim;
-            wIm_[idx] += fre * eim + fim * ere;
-        }
-    }
+    backend_->foldW(envRe_, envIm_, u3Re_[curCol_], u3Im_[curCol_],
+                    numQubits_, qubit, wRe_, wIm_);
     curQubit_ = qubit;
+    std::memcpy(probeTrig_, trigCache_[curCol_][qubit],
+                sizeof(probeTrig_));
 }
 
 void
-AnsatzEvaluator::buildU3(int role, double value, double *ure,
+AnsatzEvaluator::buildU3(int role, double value, int way, double *ure,
                          double *uim) const
 {
-    const double th = role == 0 ? value : angle(curCol_, curQubit_, 0);
-    const double ph = role == 1 ? value : angle(curCol_, curQubit_, 1);
-    const double la = role == 2 ? value : angle(curCol_, curQubit_, 2);
-    const double c = std::cos(th / 2.0), s = std::sin(th / 2.0);
-    const double cp = std::cos(ph), sp = std::sin(ph);
-    const double cl = std::cos(la), sl = std::sin(la);
-    ure[0] = c;
-    uim[0] = 0.0;
-    ure[1] = -cl * s;
-    uim[1] = -sl * s;
-    ure[2] = cp * s;
-    uim[2] = sp * s;
-    ure[3] = (cp * cl - sp * sl) * c;
-    uim[3] = (cp * sl + sp * cl) * c;
+    // Fixed roles come from the trig cache; the varied role costs at
+    // most a cos/sin pair — usually none, because rotosolve probes
+    // every coordinate at the same two values and the memo hits.
+    double t[6];
+    std::memcpy(t, probeTrig_, sizeof(t));
+    const double arg = role == 0 ? value / 2.0 : value;
+    double *memo = probeArgTrig_[role][way];
+    if (memo[0] != arg) {
+        memo[0] = arg;
+        memo[1] = std::cos(arg);
+        memo[2] = std::sin(arg);
+    }
+    t[role * 2] = memo[1];
+    t[role * 2 + 1] = memo[2];
+    kernels::u3EntriesFromTrig(t[0], t[1], t[2], t[3], t[4], t[5], ure,
+                               uim);
 }
 
 Complex
@@ -336,14 +222,30 @@ AnsatzEvaluator::probe(int role, double value) const
 
     if (curQubit_ < 0)
         throw std::logic_error("AnsatzEvaluator::probe: no qubit selected");
-    double ure[4], uim[4];
-    buildU3(role, value, ure, uim);
+    alignas(64) double ure[4], uim[4];
+    buildU3(role, value, 0, ure, uim);
     double tre = 0.0, tim = 0.0;
-    for (int i = 0; i < 4; ++i) {
-        tre += ure[i] * wRe_[i] - uim[i] * wIm_[i];
-        tim += ure[i] * wIm_[i] + uim[i] * wRe_[i];
-    }
+    backend_->probeBatch(wRe_, wIm_, ure, uim, 1, &tre, &tim);
     return {tre, tim};
+}
+
+void
+AnsatzEvaluator::probePair(int role, double v0, double v1, Complex &t0,
+                           Complex &t1) const
+{
+    static obs::Counter &probes = obs::counter("compose.kernel_probes");
+    probes.add(2);
+
+    if (curQubit_ < 0)
+        throw std::logic_error(
+            "AnsatzEvaluator::probePair: no qubit selected");
+    alignas(64) double ure[8], uim[8];
+    buildU3(role, v0, 0, ure, uim);
+    buildU3(role, v1, 1, ure + 4, uim + 4);
+    double tre[2], tim[2];
+    backend_->probeBatch(wRe_, wIm_, ure, uim, 2, tre, tim);
+    t0 = {tre[0], tim[0]};
+    t1 = {tre[1], tim[1]};
 }
 
 void
@@ -354,7 +256,22 @@ AnsatzEvaluator::commitAngle(int role, double value)
             "AnsatzEvaluator::commitAngle: no qubit selected");
     angles_[static_cast<size_t>(angleIndex(curCol_, curQubit_, role))] =
         value;
-    loadU3(curCol_, curQubit_);
+    // Refresh the trig caches (subsequent probes of the other roles see
+    // the committed angle), then rebuild the committed U3 straight from
+    // them — the caches already hold the other two roles' trig, so
+    // commit costs one cos/sin pair instead of loadU3's three. Not
+    // routed through the probe-arg memo: commits land on optimizer-
+    // chosen angles and would evict the stable (0, pi) probe entries.
+    const double arg = role == 0 ? value / 2.0 : value;
+    const double c = std::cos(arg), s = std::sin(arg);
+    probeTrig_[role * 2] = c;
+    probeTrig_[role * 2 + 1] = s;
+    trigCache_[curCol_][curQubit_][role * 2] = c;
+    trigCache_[curCol_][curQubit_][role * 2 + 1] = s;
+    kernels::u3EntriesFromTrig(probeTrig_[0], probeTrig_[1], probeTrig_[2],
+                               probeTrig_[3], probeTrig_[4], probeTrig_[5],
+                               u3Re_[curCol_][curQubit_],
+                               u3Im_[curCol_][curQubit_]);
 }
 
 }  // namespace geyser

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "compose/ansatz.hpp"
+#include "linalg/kernels/backend.hpp"
 #include "linalg/matrix.hpp"
 
 namespace geyser {
@@ -110,12 +111,26 @@ class AnsatzEvaluator
     /**
      * Trace with the selected qubit's `role` angle (0 = theta, 1 = phi,
      * 2 = lambda) replaced by `value`, other angles current. O(1):
-     * one U3 rebuild plus the 4-entry contraction. Does not mutate.
+     * one U3 rebuild (two trig calls — the fixed roles' trig is cached
+     * by beginQubit/commitAngle) plus the 4-entry contraction. Does
+     * not mutate.
      */
     Complex probe(int role, double value) const;
 
+    /**
+     * Two probes of the same role batched through one contiguous SoA
+     * contraction — the rotosolve (0, pi) probe pair. Equivalent to
+     * two probe() calls, cheaper: the candidate U3s are packed 2x4
+     * split and contracted in one backend sweep.
+     */
+    void probePair(int role, double v0, double v1, Complex &t0,
+                   Complex &t1) const;
+
     /** Accept an update for the selected qubit's `role` angle. */
     void commitAngle(int role, double value);
+
+    /** Name of the compute backend this evaluator dispatched to. */
+    const char *backendName() const { return backend_->name; }
 
   private:
     int angleIndex(int col, int qubit, int role) const
@@ -125,7 +140,8 @@ class AnsatzEvaluator
     void loadU3(int col, int qubit);
     void applyColumnLeft(double *re, double *im, int col) const;
     void applyColumnRight(double *re, double *im, int col) const;
-    void buildU3(int role, double value, double *ure, double *uim) const;
+    void buildU3(int role, double value, int way, double *ure,
+                 double *uim) const;
 
     int numQubits_ = 0;
     int layers_ = 0;
@@ -133,26 +149,47 @@ class AnsatzEvaluator
     std::vector<double> angles_;
     int flipMask_[kMaxColumns] = {};  ///< Per-layer entangler masks.
 
+    /** Dispatched kernel table (resolved once at construction). */
+    const kernels::ComputeBackend *backend_ = nullptr;
+
     // target^dagger, split row-major.
-    double tdRe_[kMaxDim * kMaxDim] = {};
-    double tdIm_[kMaxDim * kMaxDim] = {};
+    alignas(64) double tdRe_[kMaxDim * kMaxDim] = {};
+    alignas(64) double tdIm_[kMaxDim * kMaxDim] = {};
 
     // Cached per-column, per-qubit U3 entries (row-major 2x2).
-    double u3Re_[kMaxColumns][kMaxQubits][4] = {};
-    double u3Im_[kMaxColumns][kMaxQubits][4] = {};
+    alignas(64) double u3Re_[kMaxColumns][kMaxQubits][4] = {};
+    alignas(64) double u3Im_[kMaxColumns][kMaxQubits][4] = {};
 
     // Suffix environments L(col) = C_L ... E_col, built per sweep.
-    double lenvRe_[kMaxColumns][kMaxDim * kMaxDim] = {};
-    double lenvIm_[kMaxColumns][kMaxDim * kMaxDim] = {};
+    alignas(64) double lenvRe_[kMaxColumns][kMaxDim * kMaxDim] = {};
+    alignas(64) double lenvIm_[kMaxColumns][kMaxDim * kMaxDim] = {};
     // Prefix environment R(col), advanced as the sweep moves forward.
-    double renvRe_[kMaxDim * kMaxDim] = {};
-    double renvIm_[kMaxDim * kMaxDim] = {};
+    alignas(64) double renvRe_[kMaxDim * kMaxDim] = {};
+    alignas(64) double renvIm_[kMaxDim * kMaxDim] = {};
     // E = R . T^dagger . L for the current column.
-    double envRe_[kMaxDim * kMaxDim] = {};
-    double envIm_[kMaxDim * kMaxDim] = {};
+    alignas(64) double envRe_[kMaxDim * kMaxDim] = {};
+    alignas(64) double envIm_[kMaxDim * kMaxDim] = {};
     // W_q fold of the current (column, qubit).
-    double wRe_[4] = {};
-    double wIm_[4] = {};
+    alignas(64) double wRe_[4] = {};
+    alignas(64) double wIm_[4] = {};
+
+    // cos/sin of (theta/2, phi, lambda) per (column, qubit), kept in
+    // lockstep with the U3 cache: loadU3 fills it, commitAngle updates
+    // one pair, beginQubit just points probes at it — so selecting a
+    // qubit costs no trig at all.
+    double trigCache_[kMaxColumns][kMaxQubits][6] = {};
+
+    // cos/sin of (theta/2, phi, lambda) for the selected qubit's
+    // current angles; probes only recompute the varied role's pair.
+    double probeTrig_[6] = {};
+
+    // Memoized probe-argument trig, keyed by the exact argument:
+    // [role][way] -> {arg, cos, sin}. Rotosolve probes every coordinate
+    // at the same two values (0, pi), so after the first coordinate the
+    // varied role's trig is a cache hit too. way 0/1 = first/second
+    // value of a probe pair. Pure memoization — hits return exactly
+    // what std::cos/std::sin returned for the identical argument.
+    mutable double probeArgTrig_[3][2][3] = {};
 
     int curCol_ = -1;
     int curQubit_ = -1;

@@ -43,9 +43,11 @@ class ResultCache;
  * matching and age out of the cache. Replaces the hand-bumped version
  * string that used to live in bench/common.cpp (history: v4 added stage
  * wall times, v5 the incremental composition kernel, v6 this constant
- * and the checksummed cache framing).
+ * and the checksummed cache framing, v7 the SIMD compute backends —
+ * FMA contraction and reduction-order changes shift composed circuits
+ * within rounding).
  */
-inline constexpr int kPipelineVersion = 6;
+inline constexpr int kPipelineVersion = 7;
 
 /** The compilation strategy to apply. */
 enum class Technique { Baseline, OptiMap, Geyser, Superconducting };

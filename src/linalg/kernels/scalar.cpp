@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The portable scalar backend: wires the reference implementations
+ * from detail.hpp into a ComputeBackend table. Always compiled, on
+ * every architecture, with no ISA-specific flags — this TU's copies of
+ * the detail kernels are the 1e-12 oracle every SIMD backend is
+ * property-tested against.
+ */
+#include "linalg/kernels/backend.hpp"
+#include "linalg/kernels/detail.hpp"
+
+namespace geyser {
+namespace kernels {
+
+const ComputeBackend &
+scalarBackend()
+{
+    static const ComputeBackend backend = {
+        "scalar",        matmulRef,       matmulDaggerRef, traceProductRef,
+        traceConjDotRef, apply2x2RowsRef, apply2x2ColsRef, flipRowsRef,
+        flipColsRef,     foldWRef,        probeBatchRef,   svApply1qRef,
+        svApply2qRef,
+    };
+    return backend;
+}
+
+}  // namespace kernels
+}  // namespace geyser

@@ -6,6 +6,8 @@
 #include <map>
 #include <vector>
 
+#include "linalg/kernels/backend.hpp"
+
 namespace geyser {
 namespace obs {
 
@@ -161,6 +163,13 @@ prometheusText(const MetricsSnapshot &snapshot)
                           static_cast<double>(cacheHits) /
                               static_cast<double>(jobsDone));
     }
+    // Info-style gauge: which SIMD compute backend this process
+    // dispatched to (constant 1, identity in the label).
+    header(out, "geyser_backend_info", "gauge", "kernels.backend");
+    out += seriesLine("geyser_backend_info", "",
+                      std::string("backend=\"") + kernels::activeName() +
+                          "\"",
+                      1.0);
 
     // Histograms: cumulative le-buckets up to the highest occupied
     // bucket, then +Inf, _sum, _count.

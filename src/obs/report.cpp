@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "linalg/kernels/backend.hpp"
 #include "obs/obs.hpp"
 
 namespace geyser {
@@ -115,6 +116,12 @@ RunReport::toJson() const
     doc.set("tool", tool_);
     doc.set("timestamp", utcTimestamp());
     doc.set("gitSha", gitSha());
+    // Which SIMD backend the compose hot path dispatched to, plus what
+    // was asked for (they differ after a GEYSER_BACKEND fallback).
+    Json compose = Json::object();
+    compose.set("backend", std::string(kernels::activeName()));
+    compose.set("backendRequested", kernels::requestedName());
+    doc.set("compose", std::move(compose));
     doc.set("config", config_);
     doc.set("circuits", circuits_);
     doc.set("stages", stagesJson());

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "cache/result_cache.hpp"
+#include "linalg/kernels/backend.hpp"
 #include "obs/obs.hpp"
 #include "obs/prometheus.hpp"
 #include "service/service.hpp"
@@ -308,6 +309,7 @@ SocketServer::handle(const Request &request, bool *closeConnection,
         response.set("running", std::to_string(s.running));
         const PoolStats pool = service_.poolStats();
         response.set("pool_exceptions", std::to_string(pool.exceptions));
+        response.set("backend", kernels::activeName());
         return response;
       }
       case Verb::Metrics:

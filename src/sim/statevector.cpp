@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "linalg/kernels/backend.hpp"
+
 namespace geyser {
 
 StateVector::StateVector(int num_qubits)
@@ -83,6 +85,28 @@ StateVector::applyMatrix(const Matrix &m, const std::vector<Qubit> &qubits)
     for (Qubit q : qubits) {
         assert(q >= 0 && q < numQubits_);
         qmask |= size_t{1} << q;
+    }
+
+    // One- and two-qubit gates — the overwhelmingly common cases — go
+    // through the dispatched compute backend instead of the generic
+    // gather/scatter loop below.
+    if (k == 1) {
+        Complex u[4];
+        for (int r = 0; r < 2; ++r)
+            for (int c = 0; c < 2; ++c)
+                u[r * 2 + c] = m(r, c);
+        kernels::active().svApply1q(amps_.data(), amps_.size(), qubits[0],
+                                    u);
+        return;
+    }
+    if (k == 2 && qubits[0] != qubits[1]) {
+        Complex u[16];
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                u[r * 4 + c] = m(r, c);
+        kernels::active().svApply2q(amps_.data(), amps_.size(), qubits[0],
+                                    qubits[1], u);
+        return;
     }
 
     Complex local[8], out[8];

@@ -45,6 +45,7 @@
 
 #include "cache/result_cache.hpp"
 #include "common/error.hpp"
+#include "linalg/kernels/backend.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "service/access_log.hpp"
@@ -196,11 +197,16 @@ main(int argc, char **argv)
         server.start();
 
         if (socketPath.empty())
-            std::printf("geyserd: listening on 127.0.0.1:%d (workers=%d)\n",
-                        server.port(), compileService.workerCount());
+            std::printf(
+                "geyserd: listening on 127.0.0.1:%d (workers=%d, "
+                "backend=%s)\n",
+                server.port(), compileService.workerCount(),
+                kernels::activeName());
         else
-            std::printf("geyserd: listening on %s (workers=%d)\n",
-                        socketPath.c_str(), compileService.workerCount());
+            std::printf(
+                "geyserd: listening on %s (workers=%d, backend=%s)\n",
+                socketPath.c_str(), compileService.workerCount(),
+                kernels::activeName());
         std::fflush(stdout);
 
         // Block until a signal or a protocol shutdown pokes the pipe.
