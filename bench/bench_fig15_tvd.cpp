@@ -12,16 +12,27 @@ using namespace geyser;
 using namespace geyser::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Fig 15: TVD to ideal output, noise = 0.1%% "
-                "(%d trajectories)\n\n",
-                trajectoryConfig(0).trajectories);
+    // --channel <name>[=<rate>] swaps the paper model for a
+    // single-channel ablation (see bench_noise_channels for the full
+    // per-channel sweep).
+    const ChannelFlag channel = parseChannelFlag(argc, argv);
+    if (channel.set)
+        std::printf("Fig 15 (ablation: only '%s'): TVD to ideal output "
+                    "(%d trajectories)\n\n",
+                    noiseChannelName(channel.id),
+                    trajectoryConfig(0).trajectories);
+    else
+        std::printf("Fig 15: TVD to ideal output, noise = 0.1%% "
+                    "(%d trajectories)\n\n",
+                    trajectoryConfig(0).trajectories);
     const std::vector<int> widths{14, 10, 10, 10, 14};
     printRow({"Benchmark", "Baseline", "OptiMap", "Geyser", "Gey vs Base"},
              widths);
     printRule(widths);
-    const NoiseModel nm = NoiseModel::paperDefault();
+    const NoiseModel nm =
+        channel.set ? channel.model() : NoiseModel::paperDefault();
     for (const auto &spec : tvdSuite()) {
         const auto cfg = trajectoryConfig(1000 + spec.numQubits);
         const double base =

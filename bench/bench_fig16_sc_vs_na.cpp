@@ -12,15 +12,22 @@ using namespace geyser;
 using namespace geyser::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Fig 16: superconducting vs Geyser-on-neutral-atoms TVD, "
-                "noise = 0.1%%\n\n");
+    // --channel <name>[=<rate>] compares the architectures under a
+    // single-channel ablation instead of the paper model.
+    const ChannelFlag channel = parseChannelFlag(argc, argv);
+    std::printf("Fig 16%s%s: superconducting vs Geyser-on-neutral-atoms "
+                "TVD%s\n\n",
+                channel.set ? " ablation " : "",
+                channel.set ? noiseChannelName(channel.id) : "",
+                channel.set ? "" : ", noise = 0.1%");
     const std::vector<int> widths{14, 16, 14, 14};
     printRow({"Benchmark", "Superconducting", "Geyser (NA)", "NA vs SC"},
              widths);
     printRule(widths);
-    const NoiseModel nm = NoiseModel::paperDefault();
+    const NoiseModel nm =
+        channel.set ? channel.model() : NoiseModel::paperDefault();
     for (const auto &spec : tvdSuite()) {
         const auto cfg = trajectoryConfig(2000 + spec.numQubits);
         const double sc = evaluateTvd(

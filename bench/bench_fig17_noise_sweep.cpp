@@ -11,15 +11,21 @@ using namespace geyser;
 using namespace geyser::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --channel <name> sweeps the chosen channel's rate instead of the
+    // paper's coupled bit/phase-flip rate.
+    const ChannelFlag channel = parseChannelFlag(argc, argv);
     for (const double rate : {0.0005, 0.005}) {
-        std::printf("Fig 17: TVD to ideal output, noise = %.2f%%\n\n",
+        std::printf("Fig 17%s%s: TVD to ideal output, noise = %.2f%%\n\n",
+                    channel.set ? " ablation " : "",
+                    channel.set ? noiseChannelName(channel.id) : "",
                     rate * 100.0);
         const std::vector<int> widths{14, 10, 10, 10};
         printRow({"Benchmark", "Baseline", "OptiMap", "Geyser"}, widths);
         printRule(widths);
-        const NoiseModel nm = NoiseModel::withRate(rate);
+        const NoiseModel nm =
+            channel.set ? channel.modelAt(rate) : NoiseModel::withRate(rate);
         for (const auto &spec : tvdSuite()) {
             const auto cfg = trajectoryConfig(
                 3000 + spec.numQubits + static_cast<uint64_t>(rate * 1e6));

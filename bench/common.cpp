@@ -63,6 +63,58 @@ tvdSuite()
     return out;
 }
 
+double
+defaultChannelRate(NoiseChannelId id)
+{
+    switch (id) {
+      case NoiseChannelId::LegacyPauli:
+        return 0.001;  // The paper's default rate.
+      case NoiseChannelId::AmpDamping:
+        return 0.001;
+      case NoiseChannelId::IdleDephasing:
+        return 0.0005;  // Per idle pulse.
+      case NoiseChannelId::AtomLossTracking:
+        return 0.0005;
+      case NoiseChannelId::CorrelatedPauli:
+        return 0.003;
+      case NoiseChannelId::ReadoutError:
+        return 0.01;
+    }
+    return 0.0;
+}
+
+NoiseModel
+ChannelFlag::model() const
+{
+    return NoiseModel::singleChannel(
+        id, rate < 0.0 ? defaultChannelRate(id) : rate);
+}
+
+NoiseModel
+ChannelFlag::modelAt(double r) const
+{
+    return NoiseModel::singleChannel(id, r);
+}
+
+ChannelFlag
+parseChannelFlag(int argc, char **argv)
+{
+    ChannelFlag flag;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--channel") != 0)
+            continue;
+        std::string arg = argv[i + 1];
+        const size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            flag.rate = std::atof(arg.c_str() + eq + 1);
+            arg.resize(eq);
+        }
+        flag.id = noiseChannelFromName(arg);
+        flag.set = true;
+    }
+    return flag;
+}
+
 void
 printRow(const std::vector<std::string> &cells,
          const std::vector<int> &widths)

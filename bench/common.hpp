@@ -22,6 +22,7 @@
 #include "algos/suite.hpp"
 #include "geyser/pipeline.hpp"
 #include "obs/report.hpp"
+#include "sim/noise.hpp"
 
 namespace geyser {
 namespace bench {
@@ -82,6 +83,34 @@ bool heavyEnabled();
 
 /** Suite filtered for TVD runs (heavy rows only when enabled). */
 std::vector<BenchmarkSpec> tvdSuite();
+
+/**
+ * Default operating point of each channel in ablation sweeps: the
+ * legacy channel at the paper's 0.1%, the extended channels at rates
+ * that produce comparable per-circuit TVD contributions.
+ */
+double defaultChannelRate(NoiseChannelId id);
+
+/**
+ * Parsed "--channel <name>[=<rate>]" flag shared by the TVD benches:
+ * restrict the noise model to a single-channel ablation. The rate part
+ * is optional and defaults to defaultChannelRate(id). Unknown names
+ * throw ValidationError listing the known channels.
+ */
+struct ChannelFlag
+{
+    bool set = false;
+    NoiseChannelId id = NoiseChannelId::LegacyPauli;
+    /** Explicit rate from the flag; negative = use the default. */
+    double rate = -1.0;
+
+    /** Single-channel model at the flag's (or default) rate. */
+    NoiseModel model() const;
+    /** Single-channel model at an externally swept rate (Fig 17/18). */
+    NoiseModel modelAt(double r) const;
+};
+
+ChannelFlag parseChannelFlag(int argc, char **argv);
 
 /** Print an aligned row of columns with the given widths. */
 void printRow(const std::vector<std::string> &cells,

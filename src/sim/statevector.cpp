@@ -1,6 +1,7 @@
 #include "sim/statevector.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "linalg/kernels/backend.hpp"
@@ -177,6 +178,45 @@ StateVector::applyY(Qubit q)
             amps_[i | mask] = kI * a0;
         }
     }
+}
+
+double
+StateVector::probOne(Qubit q) const
+{
+    const size_t mask = size_t{1} << q;
+    double p1 = 0.0;
+    for (size_t i = 0; i < amps_.size(); ++i)
+        if (i & mask)
+            p1 += std::norm(amps_[i]);
+    return p1;
+}
+
+bool
+StateVector::applyAmplitudeDamping(Qubit q, double gamma, double u)
+{
+    const size_t mask = size_t{1} << q;
+    const double p1 = probOne(q);
+    const double pJump = gamma * p1;
+    if (u < pJump) {
+        // Jump (K1): every q=1 amplitude moves to its q=0 partner —
+        // K1|psi> has no other support, so the in-place overwrite of
+        // the old q=0 amplitudes is exactly the channel's action.
+        const double inv = 1.0 / std::sqrt(p1);
+        for (size_t i = 0; i < amps_.size(); ++i) {
+            if (i & mask) {
+                amps_[i & ~mask] = amps_[i] * inv;
+                amps_[i] = 0.0;
+            }
+        }
+        return true;
+    }
+    // No jump (K0 = diag(1, sqrt(1 - gamma))), renormalized by the
+    // branch probability 1 - gamma * p1.
+    const double invNorm = 1.0 / std::sqrt(1.0 - pJump);
+    const double scale1 = std::sqrt(1.0 - gamma) * invNorm;
+    for (size_t i = 0; i < amps_.size(); ++i)
+        amps_[i] *= (i & mask) ? scale1 : invNorm;
+    return false;
 }
 
 Distribution

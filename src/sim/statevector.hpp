@@ -55,6 +55,20 @@ class StateVector
     /** Fast Pauli-Y on one qubit. */
     void applyY(Qubit q);
 
+    /** Probability that qubit q reads 1. */
+    double probOne(Qubit q) const;
+
+    /**
+     * One amplitude-damping (T1) trajectory step on qubit q: with
+     * probability gamma * P(q = 1) the state jumps (K1, the qubit
+     * collapses to |0>); otherwise the no-jump Kraus K0 =
+     * diag(1, sqrt(1 - gamma)) is applied. Either branch renormalizes.
+     * `u` is the caller's uniform [0, 1) draw deciding the branch
+     * (passed in so the RNG stream stays with the noise channel).
+     * Returns true when the jump occurred.
+     */
+    bool applyAmplitudeDamping(Qubit q, double gamma, double u);
+
     /** |amplitude|^2 per basis state. */
     Distribution probabilities() const;
 

@@ -1,10 +1,11 @@
 /**
  * @file
- * Monte-Carlo Pauli-trajectory simulator: the stand-in for the paper's
- * IBMQ QASM noisy simulation. Each trajectory executes the circuit with
- * stochastic bit/phase flips; the full probability vectors of the
- * trajectories are averaged (much lower variance than sampling shots),
- * which converges to the exact output of the Pauli channel.
+ * Monte-Carlo trajectory simulator: the stand-in for the paper's IBMQ
+ * QASM noisy simulation. Each trajectory executes the circuit once with
+ * every enabled noise channel (sim/noise_channel.hpp) sampling its
+ * errors; the full probability vectors of the trajectories are averaged
+ * (much lower variance than sampling shots), which converges to the
+ * exact output of the composed channel.
  */
 #ifndef GEYSER_SIM_TRAJECTORY_HPP
 #define GEYSER_SIM_TRAJECTORY_HPP
@@ -19,6 +20,7 @@ namespace geyser {
 /** Configuration for a noisy-output estimate. */
 struct TrajectoryConfig
 {
+    /** Trajectory count; must be positive (validated at entry). */
     int trajectories = 200;
     uint64_t seed = 1234;
     /**
@@ -32,21 +34,36 @@ struct TrajectoryConfig
     /**
      * Atom arrangement, needed only when the noise model enables
      * Rydberg crosstalk (restriction zones depend on positions). Must
-     * outlive the simulation call.
+     * outlive the simulation call. A crosstalk-enabled model without a
+     * topology is rejected with ValidationError.
      */
     const Topology *topology = nullptr;
     /**
      * Run the trajectory loop even when the noise model is noiseless
      * (normally short-circuited to the statevector output). Used by the
-     * differential verifier to cross-check the trajectory engine itself.
+     * differential verifier to cross-check the trajectory engine
+     * itself. A noiseless forced run is deterministic, so the engine
+     * runs exactly one trajectory regardless of `trajectories`.
      */
     bool forceTrajectories = false;
+    /**
+     * Debug/verify knob: apply the noise channels in reverse
+     * registration order. Because every extended channel draws from its
+     * own counter-derived stream, the output distribution must be
+     * bit-identical either way; the differential verifier asserts this.
+     */
+    bool reverseChannelOrder = false;
 };
 
 /**
- * Average output distribution of `circuit` under `noise`. The circuit
- * must be physical (pulse counts defined) when noise.perPulse is set;
- * otherwise logical gates are accepted too.
+ * Average output distribution of `circuit` under `noise`.
+ *
+ * Validated at entry (ValidationError):
+ *  - config.trajectories must be positive;
+ *  - noise.crosstalkPhase > 0 requires config.topology;
+ *  - noise.perPulse and noise.idleDephasing > 0 require a physical
+ *    circuit (pulse counts / the ASAP schedule are undefined
+ *    otherwise); the error names the first offending gate.
  */
 Distribution noisyDistribution(const Circuit &circuit,
                                const NoiseModel &noise,

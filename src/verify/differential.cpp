@@ -1,5 +1,6 @@
 #include "verify/differential.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -26,15 +27,12 @@ maxAbsGap(const Distribution &p, const Distribution &q)
 Distribution
 noiselessTrajectoryOutput(const Circuit &circuit, uint64_t seed)
 {
-    NoiseModel off;
-    off.bitFlip = 0.0;
-    off.phaseFlip = 0.0;
     TrajectoryConfig cfg;
     cfg.trajectories = 1;
     cfg.seed = seed;
     cfg.parallel = false;
     cfg.forceTrajectories = true;  // Exercise the trajectory loop itself.
-    return noisyDistribution(circuit, off, cfg);
+    return noisyDistribution(circuit, NoiseModel::noiseless(), cfg);
 }
 
 double
@@ -98,37 +96,104 @@ runDifferential(const Circuit &circuit, const NoiseModel &noise,
     }
 
     // Stage 2: trajectory-averaged Pauli channel vs the exact Kraus
-    // evolution. Atom loss / crosstalk are trajectory-only concepts.
+    // evolution. Atom loss / crosstalk / the extended channels are
+    // trajectory-only concepts — the density-matrix engine models the
+    // per-gate Pauli flips only.
     NoiseModel pauli = noise;
     pauli.atomLoss = 0.0;
     pauli.crosstalkPhase = 0.0;
+    pauli.ampDamping = 0.0;
+    pauli.idleDephasing = 0.0;
+    pauli.lossPerGate = 0.0;
+    pauli.correlatedPauli = 0.0;
+    pauli.readoutError = 0.0;
+    double channelTvd = -1.0;
     if (!pauli.isNoiseless() &&
         circuit.numQubits() <= options.maxDensityMatrixQubits) {
-        const double tvd = channelStageTvd(circuit, pauli, options);
-        if (tvd > options.channelTolerance) {
-            fillFailure(report, circuit, "density-matrix-vs-trajectory", tvd,
-                        options.channelTolerance, options,
+        channelTvd = channelStageTvd(circuit, pauli, options);
+        if (channelTvd > options.channelTolerance) {
+            fillFailure(report, circuit, "density-matrix-vs-trajectory",
+                        channelTvd, options.channelTolerance, options,
                         [&](const Circuit &c) {
                             return channelStageTvd(c, pauli, options) >
                                    options.channelTolerance;
                         });
             return report;
         }
-        report.divergence = tvd;
-        char buf[96];
-        std::snprintf(buf, sizeof(buf),
-                      "ideal gap %.3e, channel tvd %.3e: all engines agree",
-                      gap, tvd);
-        report.detail = buf;
-        return report;
     }
 
-    report.divergence = gap;
-    char buf[96];
-    std::snprintf(buf, sizeof(buf),
-                  "ideal gap %.3e: statevector and trajectory agree", gap);
+    // Stage 3: the composed extended-channel model must not care in
+    // which order the channels are applied (per-channel RNG streams).
+    if (options.checkChannelOrder) {
+        const NoiseModel probe = allChannelProbeModel(circuit, noise);
+        const int orderShots = std::min(options.trajectories, 16);
+        const double orderGap =
+            channelOrderGap(circuit, probe, orderShots, options.seed);
+        if (orderGap > 0.0) {
+            fillFailure(report, circuit, "channel-order-invariance",
+                        orderGap, 0.0, options, [&](const Circuit &c) {
+                            return channelOrderGap(c, probe, orderShots,
+                                                   options.seed) > 0.0;
+                        });
+            return report;
+        }
+    }
+
+    report.divergence = channelTvd >= 0.0 ? channelTvd : gap;
+    char buf[128];
+    if (channelTvd >= 0.0)
+        std::snprintf(buf, sizeof(buf),
+                      "ideal gap %.3e, channel tvd %.3e: all engines agree",
+                      gap, channelTvd);
+    else
+        std::snprintf(
+            buf, sizeof(buf),
+            "ideal gap %.3e: statevector and trajectory agree", gap);
     report.detail = buf;
     return report;
+}
+
+double
+channelsOffGap(const Circuit &circuit, uint64_t seed)
+{
+    return maxAbsGap(idealDistribution(circuit),
+                     noiselessTrajectoryOutput(circuit, seed));
+}
+
+double
+channelOrderGap(const Circuit &circuit, const NoiseModel &noise,
+                int trajectories, uint64_t seed)
+{
+    TrajectoryConfig cfg;
+    cfg.trajectories = trajectories;
+    cfg.seed = seed;
+    cfg.parallel = false;
+    TrajectoryConfig reversed = cfg;
+    reversed.reverseChannelOrder = true;
+    return maxAbsGap(noisyDistribution(circuit, noise, cfg),
+                     noisyDistribution(circuit, noise, reversed));
+}
+
+NoiseModel
+allChannelProbeModel(const Circuit &circuit, const NoiseModel &noise)
+{
+    NoiseModel probe = noise;
+    // The order-invariance run has no topology, so crosstalk (which
+    // would fail validation without one) stays out of the probe.
+    probe.crosstalkPhase = 0.0;
+    probe.ampDamping = std::max(probe.ampDamping, 0.01);
+    probe.lossPerGate = std::max(probe.lossPerGate, 0.005);
+    probe.correlatedPauli = std::max(probe.correlatedPauli, 0.01);
+    probe.readoutError = std::max(probe.readoutError, 0.02);
+    bool physical = true;
+    for (const Gate &g : circuit.gates())
+        if (!g.isPhysical())
+            physical = false;
+    if (physical)
+        probe.idleDephasing = std::max(probe.idleDephasing, 0.002);
+    else
+        probe.perPulse = false;  // Pulse costs undefined on logical gates.
+    return probe;
 }
 
 Circuit

@@ -40,6 +40,14 @@ struct DifferentialOptions
     int maxDensityMatrixQubits = 6;
     /** Shrink the failing circuit before reporting. */
     bool minimizeOnFailure = true;
+    /**
+     * Also assert that composing every extended noise channel is
+     * invariant under the channel application order (bit-identical
+     * distributions with TrajectoryConfig::reverseChannelOrder set) —
+     * the property the per-channel counter-derived RNG streams exist
+     * to guarantee.
+     */
+    bool checkChannelOrder = true;
 };
 
 /** Outcome of a differential run. */
@@ -65,6 +73,32 @@ struct DifferentialReport
 DifferentialReport runDifferential(const Circuit &circuit,
                                    const NoiseModel &noise,
                                    const DifferentialOptions &options = {});
+
+/**
+ * Channel-off cross-check: the trajectory engine forced through its
+ * loop with every noise channel disabled must reproduce the exact
+ * statevector distribution. Returns the worst per-outcome gap
+ * (0 up to floating-point identity when the engine is healthy).
+ */
+double channelsOffGap(const Circuit &circuit, uint64_t seed);
+
+/**
+ * Channel-order invariance: run `noise` over `circuit` twice, with the
+ * channels applied in registration order and in reverse, and return
+ * the worst per-outcome gap. Counter-derived per-channel RNG streams
+ * make the two runs bit-identical, so any nonzero gap is a bug.
+ */
+double channelOrderGap(const Circuit &circuit, const NoiseModel &noise,
+                       int trajectories, uint64_t seed);
+
+/**
+ * `noise` extended with every composable channel enabled at small
+ * probe rates (idle dephasing only when `circuit` is physical — the
+ * schedule is undefined otherwise): the model the order-invariance
+ * stage exercises.
+ */
+NoiseModel allChannelProbeModel(const Circuit &circuit,
+                                const NoiseModel &noise);
 
 /**
  * Greedy shrink: the shortest prefix of `circuit` on which `stillFails`

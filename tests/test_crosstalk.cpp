@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/trajectory.hpp"
 
@@ -20,16 +21,23 @@ crosstalkOnly(double rate)
     return nm;
 }
 
-TEST(Crosstalk, IgnoredWithoutTopology)
+TEST(Crosstalk, RejectedWithoutTopology)
 {
+    // A crosstalk-enabled model without a topology used to silently
+    // downgrade to no crosstalk — a service caller got a confident,
+    // wrong TVD. It is a validation error now.
     Circuit c(2);
     c.h(0);
     c.cz(0, 1);
     c.h(0);
     TrajectoryConfig cfg{500, 3, false, nullptr};
+    EXPECT_THROW(noisyDistribution(c, crosstalkOnly(0.5), cfg),
+                 ValidationError);
+    // With a topology the same request is fine.
+    const auto topo = Topology::makeTriangular(1, 2);
+    cfg.topology = &topo;
     const auto noisy = noisyDistribution(c, crosstalkOnly(0.5), cfg);
-    const auto ideal = idealDistribution(c);
-    EXPECT_NEAR(totalVariationDistance(noisy, ideal), 0.0, 1e-12);
+    EXPECT_EQ(noisy.size(), size_t{4});
 }
 
 TEST(Crosstalk, DephasesZoneAtoms)

@@ -74,6 +74,26 @@ TEST_F(PrometheusTest, ServiceCountersMapToLabelledFamilies)
     EXPECT_EQ(text.find("_total_total"), std::string::npos) << text;
 }
 
+TEST_F(PrometheusTest, NoiseChannelCountersShareOneLabelledFamily)
+{
+    obs::serviceCounter("sim.noise.amp_damp_events").add(12);
+    obs::serviceCounter("sim.noise.legacy_pauli_events").add(7);
+    obs::serviceCounter("sim.noise.readout_events").add(3);
+    const std::string text = obs::prometheusText();
+    EXPECT_NE(text.find("geyser_sim_noise_events_total"
+                        "{channel=\"amp-damp\"} 12\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("geyser_sim_noise_events_total"
+                        "{channel=\"legacy-pauli\"} 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("geyser_sim_noise_events_total"
+                        "{channel=\"readout\"} 3\n"),
+              std::string::npos);
+    EXPECT_EQ(countOf(text, "# TYPE geyser_sim_noise_events_total counter"),
+              1);
+}
+
 TEST_F(PrometheusTest, GenericNamesSanitizeWithTotalSuffix)
 {
     obs::serviceCounter("cache.store_error").add(3);
