@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "compose/composer.hpp"
 #include "compose/evaluator.hpp"
@@ -64,22 +65,6 @@ double
 secondsSince(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-double
-envDouble(const char *name, double fallback, double lo)
-{
-    if (const char *env = std::getenv(name))
-        return std::max(lo, std::atof(env));
-    return fallback;
-}
-
-int
-envInt(const char *name, int fallback, int lo)
-{
-    if (const char *env = std::getenv(name))
-        return std::max(lo, std::atoi(env));
-    return fallback;
 }
 
 struct KernelRate
@@ -224,10 +209,12 @@ main(int argc, char **argv)
             jsonPath = argv[i + 1];
     }
 
-    const double budget = envDouble("GEYSER_KERNEL_BENCH_SECONDS", 0.2, 0.01);
-    const int reps = envInt("GEYSER_KERNEL_BENCH_REPS", 5, 1);
+    const double budget =
+        env::envDouble("GEYSER_KERNEL_BENCH_SECONDS", 0.2, 0.01, 600.0);
+    const int reps = static_cast<int>(
+        env::envInt("GEYSER_KERNEL_BENCH_REPS", 5, 1, 10'000));
     const double speedupFloor =
-        envDouble("GEYSER_KERNEL_SPEEDUP_FLOOR", 0.0, 0.0);
+        env::envDouble("GEYSER_KERNEL_SPEEDUP_FLOOR", 0.0, 0.0, 1e6);
 
     // Correctness gates before any timing: every usable backend must
     // match the dense oracle (which is pinned to the scalar reference,

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * bench_fleet — warm-cache fleet throughput floor: compiles a VQE
+ * parameter sweep (same skeleton, per-seed angles) through the fleet
+ * front end twice against a fresh persistent cache — once cold (builds
+ * and stores the skeleton plan) and once warm (loads the plan and
+ * re-binds every member) — and compares the warm sweep's wall time
+ * against a full per-member recompilation baseline measured on a
+ * sample.
+ *
+ * Assertions (exit 1 on violation):
+ *   - warm sweep wall x GEYSER_FLEET_SPEEDUP_FLOOR (default 5) must not
+ *     exceed the extrapolated cold full-recompilation wall;
+ *   - warm skeleton-reuse ratio > 0.9;
+ *   - zero verify failures on both passes (re-bound members are checked
+ *     against from-scratch compiles inside the fleet engine);
+ *   - zero corrupt cache entries.
+ *
+ * GEYSER_FLEET_MEMBERS (default 1000) sets the sweep size.
+ */
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algos/algos.hpp"
+#include "cache/result_cache.hpp"
+#include "common.hpp"
+#include "common/env.hpp"
+#include "fleet/fleet.hpp"
+#include "obs/json.hpp"
+
+using namespace geyser;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ReportSession session(argc, argv, "bench_fleet");
+
+    const int members = static_cast<int>(
+        env::envInt("GEYSER_FLEET_MEMBERS", 1000, 1, 1'000'000));
+    const double floor =
+        env::envDouble("GEYSER_FLEET_SPEEDUP_FLOOR", 5.0, 0.0, 1e6);
+
+    std::vector<fleet::FleetJob> jobs;
+    jobs.reserve(static_cast<size_t>(members));
+    for (int seed = 0; seed < members; ++seed) {
+        fleet::FleetJob job;
+        job.name = "vqe4x1-s" + std::to_string(seed);
+        job.logical = vqeBenchmark(4, 1, static_cast<uint64_t>(seed));
+        jobs.push_back(std::move(job));
+    }
+
+    // Cold full-recompilation baseline: a sample of members compiled
+    // from scratch (no cache, so every one pays its own composition
+    // search), extrapolated to the sweep size.
+    const int sample = members < 5 ? members : 5;
+    double sampleMs = 0.0;
+    for (int i = 0; i < sample; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const CompileResult result =
+            compile(Technique::Geyser, jobs[static_cast<size_t>(i)].logical);
+        sampleMs += msSince(t0);
+        if (result.stats.totalPulses <= 0) {
+            std::fprintf(stderr, "bench_fleet: empty baseline compile\n");
+            return 1;
+        }
+    }
+    const double coldPerMemberMs = sampleMs / sample;
+    const double coldEstimateMs = coldPerMemberMs * members;
+
+    // Fresh cache: the cold fleet pass builds + stores the skeleton
+    // plan, the warm pass must serve every member off it.
+    std::string dir = "/tmp/geyser_fleet_bench_XXXXXX";
+    if (::mkdtemp(dir.data()) == nullptr) {
+        std::fprintf(stderr, "bench_fleet: mkdtemp failed\n");
+        return 1;
+    }
+    cache::CacheConfig cacheConfig;
+    cacheConfig.dir = dir;
+    cache::ResultCache cacheCold(cacheConfig);
+
+    fleet::FleetOptions options;
+    options.pipeline.cache = &cacheCold;
+    const fleet::FleetReport cold = fleet::compileFleet(jobs, options);
+
+    cache::ResultCache cacheWarm(cacheConfig);
+    options.pipeline.cache = &cacheWarm;
+    const fleet::FleetReport warm = fleet::compileFleet(jobs, options);
+
+    const double speedup =
+        warm.wallMs > 0.0 ? coldEstimateMs / warm.wallMs : 0.0;
+    std::printf("fleet sweep: %d members (vqe 4x1, per-seed angles)\n",
+                members);
+    std::printf("  cold full recompilation: %.1f ms/member -> %.0f ms "
+                "(extrapolated from %d)\n",
+                coldPerMemberMs, coldEstimateMs, sample);
+    std::printf("  cold fleet pass: %.0f ms (%ld rebound, %ld fallback, "
+                "%ld plan stores)\n",
+                cold.wallMs, cold.rebound, cold.fallback, cold.planStores);
+    std::printf("  warm fleet pass: %.0f ms (%ld rebound, %ld plan hits, "
+                "reuse %.3f)\n",
+                warm.wallMs, warm.rebound, warm.planHits,
+                warm.reuseRatio());
+    std::printf("  warm speedup vs cold recompilation: %.1fx "
+                "(floor %.1fx)\n",
+                speedup, floor);
+
+    obs::Json row = obs::Json::object();
+    row.set("members", members);
+    row.set("coldPerMemberMs", coldPerMemberMs);
+    row.set("coldEstimateMs", coldEstimateMs);
+    row.set("coldFleetMs", cold.wallMs);
+    row.set("warmFleetMs", warm.wallMs);
+    row.set("speedup", speedup);
+    row.set("reuseRatio", warm.reuseRatio());
+    row.set("planHits", static_cast<double>(warm.planHits));
+    row.set("verifyFailures",
+            static_cast<double>(cold.verifyFailures + warm.verifyFailures));
+    row.set("cacheCorrupt",
+            static_cast<double>(cold.cacheCorrupt + warm.cacheCorrupt));
+    session.addRow(std::move(row));
+
+    bool ok = true;
+    if (cold.verifyFailures != 0 || warm.verifyFailures != 0) {
+        std::fprintf(stderr, "FAIL: %ld re-bind verify failures\n",
+                     cold.verifyFailures + warm.verifyFailures);
+        ok = false;
+    }
+    if (cold.cacheCorrupt != 0 || warm.cacheCorrupt != 0) {
+        std::fprintf(stderr, "FAIL: %ld corrupt cache entries\n",
+                     cold.cacheCorrupt + warm.cacheCorrupt);
+        ok = false;
+    }
+    if (warm.reuseRatio() <= 0.9) {
+        std::fprintf(stderr, "FAIL: warm reuse ratio %.3f <= 0.9\n",
+                     warm.reuseRatio());
+        ok = false;
+    }
+    if (warm.planHits < 1) {
+        std::fprintf(stderr, "FAIL: warm pass built its plan instead of "
+                             "loading it\n");
+        ok = false;
+    }
+    if (speedup < floor) {
+        std::fprintf(stderr,
+                     "FAIL: warm speedup %.1fx below the %.1fx floor\n",
+                     speedup, floor);
+        ok = false;
+    }
+    std::printf("%s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "cache/result_cache.hpp"
+#include "common/env.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/obs.hpp"
 
@@ -40,9 +41,8 @@ trajectoryConfig(uint64_t seed)
 {
     TrajectoryConfig cfg;
     cfg.seed = seed;
-    cfg.trajectories = 200;
-    if (const char *env = std::getenv("GEYSER_TRAJECTORIES"))
-        cfg.trajectories = std::max(1, std::atoi(env));
+    cfg.trajectories = static_cast<int>(
+        env::envInt("GEYSER_TRAJECTORIES", 200, 1, 10'000'000));
     return cfg;
 }
 

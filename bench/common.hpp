@@ -6,12 +6,24 @@
  * version string to hand-bump here), environment-controlled run scale,
  * and table printing.
  *
- * Environment knobs:
+ * Environment knobs (numeric values are validated through
+ * common/env.hpp — garbage, trailing junk, or out-of-range values
+ * raise ValidationError naming the variable instead of degrading
+ * silently):
  *   GEYSER_CACHE_DIR     cache directory (default /tmp/geyser_cache)
  *   GEYSER_NO_CACHE=1    disable the cache
- *   GEYSER_CACHE_MAX_MB  LRU size cap for the cache directory (MB)
+ *   GEYSER_CACHE_MAX_MB  LRU size cap for the cache directory, in MB
+ *                        (integer >= 0; 0 = unbounded)
  *   GEYSER_BENCH_HEAVY=1 include the >10-qubit benchmarks in TVD runs
- *   GEYSER_TRAJECTORIES  noisy-trajectory count (default 200)
+ *   GEYSER_TRAJECTORIES  noisy-trajectory count (integer >= 1,
+ *                        default 200)
+ *   GEYSER_KERNEL_BENCH_SECONDS / GEYSER_KERNEL_BENCH_REPS /
+ *   GEYSER_KERNEL_SPEEDUP_FLOOR
+ *                        bench_compose_kernel budget, repetitions, and
+ *                        per-ISA speedup assertion floor
+ *   GEYSER_FLEET_MEMBERS / GEYSER_FLEET_SPEEDUP_FLOOR
+ *                        bench_fleet sweep size (default 1000) and
+ *                        warm-vs-cold wall-time floor (default 5.0)
  */
 #ifndef GEYSER_BENCH_COMMON_HPP
 #define GEYSER_BENCH_COMMON_HPP

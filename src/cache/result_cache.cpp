@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.hpp"
 #include "io/framing.hpp"
 #include "io/serialize.hpp"
 #include "obs/obs.hpp"
@@ -30,10 +31,10 @@ constexpr auto kStaleLockAge = std::chrono::minutes(10);
 long long
 envMaxBytes()
 {
-    const char *env = std::getenv("GEYSER_CACHE_MAX_MB");
-    if (env == nullptr)
-        return 0;
-    const long long mb = std::atoll(env);
+    // 0 keeps the historical "unbounded" meaning; garbage or a negative
+    // value now raises instead of silently disabling the cap.
+    const long long mb =
+        env::envInt("GEYSER_CACHE_MAX_MB", 0, 0, 1'000'000'000);
     return mb > 0 ? mb * 1024 * 1024 : 0;
 }
 
@@ -55,14 +56,27 @@ tryCreateLockFile(const std::string &path)
     return true;
 }
 
-bool
-lockIsFresh(const std::string &path)
+/**
+ * One observation of a lock file for detail::LockWatch. A failed stat
+ * used to be folded into "vanished — owner finished", which let a
+ * transient EACCES/EIO break cross-process single-flight and duplicate
+ * hours of composition; Missing and Error are now distinct outcomes.
+ */
+detail::LockStat
+statLock(const std::string &path,
+         std::chrono::steady_clock::duration &ageOut)
 {
     std::error_code ec;
     const auto mtime = fs::last_write_time(path, ec);
-    if (ec)
-        return false;  // Vanished — owner finished.
-    return fs::file_time_type::clock::now() - mtime < kStaleLockAge;
+    if (ec) {
+        ageOut = {};
+        return ec == std::errc::no_such_file_or_directory
+                   ? detail::LockStat::Missing
+                   : detail::LockStat::Error;
+    }
+    ageOut = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        fs::file_time_type::clock::now() - mtime);
+    return detail::LockStat::Ok;
 }
 
 }  // namespace
@@ -277,6 +291,12 @@ ResultCache::getOrCompute(const std::string &key,
         const auto deadline =
             std::chrono::steady_clock::now() +
             std::chrono::milliseconds(config_.crossProcessWaitMs);
+        detail::LockWatch watch(kStaleLockAge);
+        auto lockIsFresh = [&](const std::string &path) {
+            std::chrono::steady_clock::duration age{};
+            const detail::LockStat stat = statLock(path, age);
+            return watch.isFresh(stat, age, std::chrono::steady_clock::now());
+        };
         while (std::chrono::steady_clock::now() < deadline &&
                lockIsFresh(lockPath)) {
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -318,6 +338,7 @@ void
 ResultCache::evictIfNeeded()
 {
     static obs::Counter &evictions = obs::counter("cache.evicted");
+    static obs::Counter &janitor = obs::counter("cache.janitor_removed");
     if (config_.maxBytes <= 0)
         return;
     std::lock_guard<std::mutex> evictLock(evictMutex_);
@@ -330,11 +351,34 @@ ResultCache::evictIfNeeded()
     };
     std::vector<Entry> entries;
     long long total = 0;
+    const auto now = fs::file_time_type::clock::now();
+    const auto grace = std::chrono::milliseconds(
+        config_.evictionGraceMs > 0 ? config_.evictionGraceMs : 0);
     std::error_code ec;
     for (fs::directory_iterator it(config_.dir, ec), end;
          !ec && it != end; it.increment(ec)) {
-        if (it->path().extension() != kEntrySuffix)
+        const std::string ext = it->path().extension().string();
+        if (ext != kEntrySuffix) {
+            // Never an eviction candidate: .lock files guard an
+            // in-flight compute, .tmp<pid> files are mid-publish, and
+            // .corrupt files are quarantined evidence. The janitor
+            // reaps only the ones a dead process abandoned.
+            const bool reapable = ext == ".lock" || ext == ".corrupt" ||
+                                  ext.rfind(".tmp", 0) == 0;
+            if (!reapable)
+                continue;
+            std::error_code staleEc;
+            const auto mtime = fs::last_write_time(it->path(), staleEc);
+            if (staleEc || now - mtime < kStaleLockAge)
+                continue;
+            std::error_code removeEc;
+            if (fs::remove(it->path(), removeEc) && !removeEc) {
+                janitor.add();
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++stats_.janitorRemoved;
+            }
             continue;
+        }
         Entry entry;
         entry.path = it->path();
         std::error_code entryEc;
@@ -345,6 +389,11 @@ ResultCache::evictIfNeeded()
         if (entryEc)
             continue;
         total += entry.size;
+        // A freshly written entry (possibly by a concurrent process that
+        // has not yet read it back) is charged against the cap but kept
+        // out of the candidate list for the grace window.
+        if (now - entry.mtime < grace)
+            continue;
         entries.push_back(std::move(entry));
     }
     if (total <= config_.maxBytes)
@@ -406,6 +455,59 @@ blockCacheKey(uint64_t hi, uint64_t lo)
     h.feedValue(hi);
     h.feedValue(lo);
     return "b-" + h.hex();
+}
+
+std::string
+skeletonCacheKey(const Circuit &logical,
+                 const std::vector<std::pair<int, int>> &varyingSlots,
+                 const PipelineOptions &options, Technique technique)
+{
+    // Varying-slot membership, encoded gate*4+param (<= 3 params/gate).
+    std::unordered_set<long long> varying;
+    for (const auto &[g, p] : varyingSlots)
+        varying.insert(static_cast<long long>(g) * 4 + p);
+    const bool allVarying = varyingSlots.empty();
+
+    io::Fnv128 h;
+    h.feedValue(kPipelineVersion);
+    h.feedValue(static_cast<int>(technique));
+    h.feedValue(logical.numQubits());
+    const auto &gates = logical.gates();
+    h.feedValue(static_cast<long long>(gates.size()));
+    for (size_t i = 0; i < gates.size(); ++i) {
+        const Gate &gate = gates[i];
+        h.feedValue(static_cast<int>(gate.kind()));
+        h.feedValue(gate.numQubits());
+        for (int q = 0; q < gate.numQubits(); ++q)
+            h.feedValue(static_cast<int>(gate.qubit(q)));
+        // Per parameter slot: a varying-or-fixed tag, and for fixed
+        // slots the value bit-exact. The tags make the key a function of
+        // the *effective* mask, so an empty mask (all varying) and an
+        // explicit every-slot mask canonicalize to the same key.
+        const int params = gateKindParamCount(gate.kind());
+        for (int p = 0; p < params; ++p) {
+            const bool slotVaries =
+                allVarying ||
+                varying.count(static_cast<long long>(i) * 4 + p) != 0;
+            h.feedValue(static_cast<int>(slotVaries));
+            if (!slotVaries)
+                h.feedValue(gate.param(p));
+        }
+    }
+    // Same behaviour-relevant option set as compileCacheKey.
+    h.feedValue(options.blocker.pulseAware);
+    h.feedValue(options.blocker.seedCandidates);
+    h.feedValue(options.compose.threshold);
+    h.feedValue(options.compose.maxLayers);
+    h.feedValue(static_cast<int>(options.compose.optimizer));
+    h.feedValue(static_cast<int>(options.compose.entanglerMode));
+    h.feedValue(options.compose.restarts);
+    h.feedValue(options.compose.maxSweeps);
+    h.feedValue(options.compose.maxEvaluationsPerBlock);
+    h.feedValue(options.compose.annealingEvaluations);
+    h.feedValue(options.compose.maxSplitDepth);
+    h.feedValue(options.compose.seed);
+    return "s-" + h.hex();
 }
 
 }  // namespace cache

@@ -35,6 +35,7 @@
 #ifndef GEYSER_CACHE_RESULT_CACHE_HPP
 #define GEYSER_CACHE_RESULT_CACHE_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -42,6 +43,8 @@
 #include <optional>
 #include <string>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "geyser/pipeline.hpp"
 
@@ -63,6 +66,14 @@ struct CacheConfig
      * cross-process single-flight; 0 disables the wait).
      */
     int crossProcessWaitMs = 10000;
+    /**
+     * Entries younger than this survive LRU eviction even over the size
+     * cap, so an entry a concurrent process just finished writing is
+     * never deleted before its first reader arrives. The cap may be
+     * exceeded transiently by the youngest generation; the next store
+     * converges once the grace window lapses. 0 disables the window.
+     */
+    int evictionGraceMs = 2000;
 
     /**
      * Environment-driven config: GEYSER_CACHE_DIR (default
@@ -80,7 +91,64 @@ struct CacheStats
     long evicted = 0;       ///< Entries removed by the LRU size cap.
     long singleflightWaits = 0;  ///< Lookups that waited on another flight.
     long storeFailures = 0; ///< Best-effort writes that did not land.
+    long janitorRemoved = 0;  ///< Stale .lock/.tmp/.corrupt files cleaned.
 };
+
+namespace detail {
+
+/** What one stat of a cross-process lock file observed. */
+enum class LockStat
+{
+    Ok,       ///< Stat succeeded; an mtime age is available.
+    Missing,  ///< The file is gone (ENOENT) — the owner finished.
+    Error,    ///< Stat failed for any other reason (EACCES, EIO, ...).
+};
+
+/**
+ * Freshness decision for one cross-process lock file across repeated
+ * polls. Pure logic, fed observations by the caller, so the
+ * unreachable-in-tests stat-error path has a unit-testable seam.
+ *
+ * Rules: a stat success is fresh while the mtime age is under the
+ * stale-age budget; a missing file is never fresh (the owner released
+ * it); a stat *error* must not be conflated with either — the lock is
+ * presumed fresh from the first failed observation until the stale-age
+ * budget elapses, then presumed abandoned. A later successful stat
+ * resets the error clock.
+ */
+class LockWatch
+{
+  public:
+    explicit LockWatch(std::chrono::steady_clock::duration staleAge)
+        : staleAge_(staleAge) {}
+
+    bool isFresh(LockStat stat, std::chrono::steady_clock::duration age,
+                 std::chrono::steady_clock::time_point now)
+    {
+        switch (stat) {
+        case LockStat::Ok:
+            errorSeen_ = false;
+            return age < staleAge_;
+        case LockStat::Missing:
+            errorSeen_ = false;
+            return false;
+        case LockStat::Error:
+            if (!errorSeen_) {
+                errorSeen_ = true;
+                firstError_ = now;
+            }
+            return now - firstError_ < staleAge_;
+        }
+        return false;
+    }
+
+  private:
+    std::chrono::steady_clock::duration staleAge_;
+    bool errorSeen_ = false;
+    std::chrono::steady_clock::time_point firstError_{};
+};
+
+}  // namespace detail
 
 /**
  * A persistent, process-shared result cache rooted at one directory.
@@ -189,6 +257,24 @@ std::string compileCacheKey(const Circuit &logical,
  * kPipelineVersion.
  */
 std::string blockCacheKey(uint64_t hi, uint64_t lo);
+
+/**
+ * Content-addressed key for a circuit *skeleton*: the structural
+ * identity shared by every member of a parameter sweep. Hashes the
+ * gate sequence with the parameters at `varyingSlots` (pairs of
+ * 0-based gate index and parameter index within the gate) canonicalized
+ * out, while every *fixed* parameter is fed bit-exactly — plus the same
+ * behaviour-relevant options, technique, and kPipelineVersion as
+ * compileCacheKey, and the varying-slot mask itself. Two circuits with
+ * the same structure and fixed angles but different varying angles map
+ * to the same key; any change to a gate kind, operand, qubit count,
+ * technique (and hence topology), fixed angle, or the mask changes it.
+ * An empty mask means "every parameter varies" (pure structure hash).
+ */
+std::string skeletonCacheKey(
+    const Circuit &logical,
+    const std::vector<std::pair<int, int>> &varyingSlots,
+    const PipelineOptions &options, Technique technique);
 
 }  // namespace cache
 }  // namespace geyser

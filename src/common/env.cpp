@@ -1,0 +1,74 @@
+#include "common/env.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace geyser {
+namespace env {
+
+namespace {
+
+[[noreturn]] void
+fail(const char *name, const std::string &value, const std::string &why)
+{
+    throw ValidationError(std::string(name) + ": invalid value \"" + value +
+                          "\" (" + why + ")");
+}
+
+std::string
+formatRange(double lo, double hi)
+{
+    return "expected a number in [" + std::to_string(lo) + ", " +
+           std::to_string(hi) + "]";
+}
+
+}  // namespace
+
+long long
+envInt(const char *name, long long fallback, long long lo, long long hi)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return fallback;
+    const std::string value(raw);
+    long long parsed = 0;
+    const auto [end, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec == std::errc::result_out_of_range)
+        fail(name, value, "integer out of range");
+    if (ec != std::errc() || end != value.data() + value.size())
+        fail(name, value, "expected a base-10 integer");
+    if (parsed < lo || parsed > hi)
+        fail(name, value,
+             "expected an integer in [" + std::to_string(lo) + ", " +
+                 std::to_string(hi) + "]");
+    return parsed;
+}
+
+double
+envDouble(const char *name, double fallback, double lo, double hi)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return fallback;
+    const std::string value(raw);
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size() || end == value.c_str())
+        fail(name, value, "expected a number");
+    if (errno == ERANGE || !std::isfinite(parsed))
+        fail(name, value, "number out of range");
+    if (parsed < lo || parsed > hi)
+        fail(name, value, formatRange(lo, hi));
+    return parsed;
+}
+
+}  // namespace env
+}  // namespace geyser

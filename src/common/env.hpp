@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Checked numeric environment knobs.
+ *
+ * Every numeric GEYSER_* environment variable used to be parsed with
+ * atoi/atof at its point of use, so `GEYSER_TRAJECTORIES=fast` or a
+ * negative cache cap silently degraded to some clamped default. These
+ * helpers are the one sanctioned path: unset returns the fallback,
+ * anything else must parse completely and land inside [lo, hi], or a
+ * ValidationError naming the variable is raised at startup — loud and
+ * immediate instead of a silently wrong run.
+ */
+#ifndef GEYSER_COMMON_ENV_HPP
+#define GEYSER_COMMON_ENV_HPP
+
+namespace geyser {
+namespace env {
+
+/**
+ * Read an integer knob. Unset (or set to the empty string) returns
+ * `fallback`; otherwise the whole value must parse as a base-10 integer
+ * in [lo, hi]. Throws ValidationError naming the variable on garbage,
+ * trailing junk, overflow, or a value outside the range.
+ */
+long long envInt(const char *name, long long fallback, long long lo,
+                 long long hi);
+
+/**
+ * Read a floating-point knob. Same contract as envInt: unset/empty →
+ * fallback; otherwise a fully-parsed finite double in [lo, hi] or a
+ * ValidationError naming the variable.
+ */
+double envDouble(const char *name, double fallback, double lo, double hi);
+
+}  // namespace env
+}  // namespace geyser
+
+#endif  // GEYSER_COMMON_ENV_HPP

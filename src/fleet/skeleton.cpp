@@ -1,0 +1,613 @@
+#include "fleet/skeleton.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "blocking/blocker.hpp"
+#include "circuit/schedule.hpp"
+#include "compose/composer.hpp"
+#include "io/framing.hpp"
+#include "io/serialize.hpp"
+#include "metrics/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace geyser {
+namespace fleet {
+
+namespace {
+
+using StageClock = std::chrono::steady_clock;
+
+double
+msSince(StageClock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(StageClock::now() - t0)
+        .count();
+}
+
+/** Gate kinds, arities, and operands equal; parameters ignored. */
+bool
+structureEquals(const Circuit &a, const Circuit &b)
+{
+    if (a.numQubits() != b.numQubits() || a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const Gate &ga = a.gates()[i];
+        const Gate &gb = b.gates()[i];
+        if (ga.kind() != gb.kind() || ga.numQubits() != gb.numQubits())
+            return false;
+        for (int q = 0; q < ga.numQubits(); ++q)
+            if (ga.qubit(q) != gb.qubit(q))
+                return false;
+    }
+    return true;
+}
+
+/** Same routed structure: circuit structure, layouts, swap count. */
+bool
+routedEquals(const CompileResult &a, const CompileResult &b)
+{
+    return structureEquals(a.physical, b.physical) &&
+           a.initialLayout == b.initialLayout &&
+           a.finalLayout == b.finalLayout &&
+           a.swapsInserted == b.swapsInserted;
+}
+
+}  // namespace
+
+std::string
+structureDigest(const Circuit &circuit)
+{
+    io::Fnv128 h;
+    h.feedValue(circuit.numQubits());
+    h.feedValue(static_cast<long long>(circuit.size()));
+    for (const Gate &gate : circuit.gates()) {
+        h.feedValue(static_cast<int>(gate.kind()));
+        h.feedValue(gate.numQubits());
+        for (int q = 0; q < gate.numQubits(); ++q)
+            h.feedValue(static_cast<int>(gate.qubit(q)));
+    }
+    return h.hex();
+}
+
+std::vector<SkeletonGroup>
+groupBySkeleton(const std::vector<Circuit> &members)
+{
+    std::vector<SkeletonGroup> groups;
+    // Digest -> candidate group indices; structural equality against the
+    // representative settles hash collisions exactly.
+    std::unordered_map<std::string, std::vector<size_t>> byDigest;
+    for (int m = 0; m < static_cast<int>(members.size()); ++m) {
+        const Circuit &circuit = members[static_cast<size_t>(m)];
+        const std::string digest = structureDigest(circuit);
+        auto &candidates = byDigest[digest];
+        size_t found = groups.size();
+        for (const size_t gi : candidates) {
+            const Circuit &rep =
+                members[static_cast<size_t>(groups[gi].members.front())];
+            if (structureEquals(rep, circuit)) {
+                found = gi;
+                break;
+            }
+        }
+        if (found == groups.size()) {
+            SkeletonGroup group;
+            group.digest = digest;
+            group.members.push_back(m);
+            groups.push_back(std::move(group));
+            candidates.push_back(groups.size() - 1);
+            continue;
+        }
+        SkeletonGroup &group = groups[found];
+        const Circuit &rep =
+            members[static_cast<size_t>(group.members.front())];
+        for (size_t i = 0; i < circuit.size(); ++i) {
+            const Gate &ga = rep.gates()[i];
+            const Gate &gb = circuit.gates()[i];
+            const int params = gateKindParamCount(ga.kind());
+            for (int p = 0; p < params; ++p) {
+                if (ga.param(p) == gb.param(p))
+                    continue;
+                const ParamSlot slot{static_cast<int>(i), p};
+                if (std::find(group.varyingSlots.begin(),
+                              group.varyingSlots.end(),
+                              slot) == group.varyingSlots.end())
+                    group.varyingSlots.push_back(slot);
+            }
+        }
+        group.members.push_back(m);
+    }
+    for (auto &group : groups)
+        std::sort(group.varyingSlots.begin(), group.varyingSlots.end(),
+                  [](const ParamSlot &a, const ParamSlot &b) {
+                      return a.gate != b.gate ? a.gate < b.gate
+                                              : a.param < b.param;
+                  });
+    return groups;
+}
+
+std::vector<std::pair<int, int>>
+slotPairs(const std::vector<ParamSlot> &slots)
+{
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(slots.size());
+    for (const ParamSlot &slot : slots)
+        pairs.emplace_back(slot.gate, slot.param);
+    return pairs;
+}
+
+std::optional<SkeletonPlan>
+buildSkeletonPlan(Technique technique, const Circuit &representative,
+                  const std::vector<ParamSlot> &varyingSlots,
+                  const PipelineOptions &options, bool cachedCompose)
+{
+    if (technique != Technique::Geyser)
+        return std::nullopt;
+    obs::Span span("fleet.plan", "fleet");
+
+    CompileResult t0 =
+        transpileForTechnique(technique, representative, options);
+
+    // Trace the varying logical slots onto physical U3 parameters by
+    // perturbation differencing: nudge every varying angle by two
+    // different deltas, re-transpile, and mark each physical parameter
+    // that moved either time. The optimizer is angle-sensitive only at
+    // identity/diagonal boundaries (1e-12 checks in the passes); if a
+    // perturbation changes the routed *structure*, this circuit sits on
+    // such a boundary and cannot be skeleton-shared — report that.
+    std::vector<uint8_t> varying(t0.physical.size() * 3, 0);
+    const double kDeltas[2] = {1.2345e-3, -2.3456e-3};
+    for (const double delta : kDeltas) {
+        if (varyingSlots.empty())
+            break;
+        Circuit perturbed = representative;
+        for (const ParamSlot &slot : varyingSlots) {
+            if (slot.gate < 0 ||
+                slot.gate >= static_cast<int>(perturbed.size()))
+                return std::nullopt;
+            Gate &gate = perturbed.gates()[static_cast<size_t>(slot.gate)];
+            if (slot.param < 0 ||
+                slot.param >= gateKindParamCount(gate.kind()))
+                return std::nullopt;
+            gate.setParam(slot.param, gate.param(slot.param) + delta);
+        }
+        const CompileResult ti =
+            transpileForTechnique(technique, perturbed, options);
+        if (!routedEquals(t0, ti))
+            return std::nullopt;
+        for (size_t i = 0; i < t0.physical.size(); ++i) {
+            const Gate &a = t0.physical.gates()[i];
+            const Gate &b = ti.physical.gates()[i];
+            const int params = gateKindParamCount(a.kind());
+            for (int p = 0; p < params; ++p)
+                if (a.param(p) != b.param(p))
+                    varying[i * 3 + static_cast<size_t>(p)] = 1;
+        }
+    }
+    // Widen the mask to gate granularity: a U3 whose angles depend on a
+    // varying slot can branch-flip a nominally constant companion angle
+    // (ZYZ lambda jumps between 0 and ±pi with the branch of the varying
+    // angle — a discrete function local perturbation cannot see). The
+    // gate's whole triple is copied at re-bind anyway, so treating it as
+    // fully varying costs nothing and keeps the fixed-param validation
+    // honest.
+    for (size_t i = 0; i < t0.physical.size(); ++i)
+        if (varying[i * 3] != 0 || varying[i * 3 + 1] != 0 ||
+            varying[i * 3 + 2] != 0)
+            varying[i * 3] = varying[i * 3 + 1] = varying[i * 3 + 2] = 1;
+    // Varying angles must live on plain one-qubit U3s — the only
+    // parameterized physical kind — so re-binding is a parameter copy.
+    for (size_t i = 0; i < t0.physical.size(); ++i) {
+        const bool gateVaries = varying[i * 3] != 0;
+        if (!gateVaries)
+            continue;
+        const Gate &gate = t0.physical.gates()[i];
+        if (gate.kind() != GateKind::U3 || gate.numQubits() != 1)
+            return std::nullopt;
+    }
+
+    SkeletonPlan plan;
+    plan.technique = technique;
+    plan.transpiled = t0.physical;
+    plan.initialLayout = t0.initialLayout;
+    plan.finalLayout = t0.finalLayout;
+    plan.swapsInserted = t0.swapsInserted;
+    plan.paramVarying = varying;
+
+    const BlockedCircuit blocked =
+        blockCircuit(t0.physical, t0.topology, options.blocker);
+    plan.blockCount = blocked.blockCount();
+
+    ComposeOptions composeOptions = options.compose;
+    if (cachedCompose) {
+        if (composeOptions.spill == nullptr)
+            composeOptions.spill = options.cache;
+    } else {
+        composeOptions.spill = nullptr;
+    }
+    if (composeOptions.cancel == nullptr)
+        composeOptions.cancel = options.cancel;
+
+    const int numAtoms = t0.topology.numAtoms();
+    Circuit stitched(numAtoms);
+    int composedSegments = 0;
+    for (const Round &round : blocked.rounds) {
+        for (const Block &block : round.blocks) {
+            const Circuit local = blocked.localCircuit(block);
+            Circuit segment(static_cast<int>(block.atoms.size()));
+            bool blockComposed = false;
+            auto flush = [&] {
+                if (segment.size() == 0)
+                    return;
+                const ComposeResult cr =
+                    cachedCompose
+                        ? composeBlockCached(segment, composeOptions)
+                        : composeBlock(segment, composeOptions);
+                stitched.append(cr.circuit.remapped(block.atoms, numAtoms));
+                if (cr.composed) {
+                    ++composedSegments;
+                    blockComposed = true;
+                }
+                plan.compositionEvaluations += cr.evaluations;
+                plan.maxBlockHsd = std::max(plan.maxBlockHsd, cr.hsd);
+                segment = Circuit(static_cast<int>(block.atoms.size()));
+            };
+            for (size_t k = 0; k < local.size(); ++k) {
+                const int src = block.opIndices[k];
+                const Gate &gate = local.gates()[k];
+                const bool gateVaries =
+                    varying[static_cast<size_t>(src) * 3] != 0 ||
+                    varying[static_cast<size_t>(src) * 3 + 1] != 0 ||
+                    varying[static_cast<size_t>(src) * 3 + 2] != 0;
+                if (!gateVaries) {
+                    segment.append(gate);
+                    continue;
+                }
+                // Emit the varying U3 verbatim (1 pulse) between the
+                // composed fixed segments, and remember where it landed
+                // so re-binding is an O(1) parameter copy.
+                flush();
+                plan.rebindMap.emplace_back(
+                    static_cast<int>(stitched.size()), src);
+                stitched.append(Gate(
+                    GateKind::U3,
+                    block.atoms[static_cast<size_t>(gate.qubit(0))],
+                    gate.param(0), gate.param(1), gate.param(2)));
+            }
+            flush();
+            if (blockComposed)
+                ++plan.composedBlockCount;
+        }
+    }
+
+    // Mirror compileGeyser's adoption rule: when no segment composed,
+    // the block-order reshuffle buys nothing — keep the routed circuit.
+    plan.adopted = composedSegments > 0;
+    if (plan.adopted) {
+        plan.stitched = std::move(stitched);
+    } else {
+        plan.stitched = plan.transpiled;
+        plan.rebindMap.clear();
+        plan.composedBlockCount = 0;
+    }
+    return plan;
+}
+
+std::optional<CompileResult>
+rebindMember(const SkeletonPlan &plan, const Circuit &memberLogical,
+             const PipelineOptions &options)
+{
+    if (plan.technique != Technique::Geyser)
+        return std::nullopt;
+    const auto t0 = StageClock::now();
+    obs::Span span("fleet.rebind", "fleet");
+
+    CompileResult tm =
+        transpileForTechnique(plan.technique, memberLogical, options);
+    const auto tRebind = StageClock::now();
+
+    // The plan applies only if this member routed to the exact same
+    // structure with the exact same fixed angles; the transpiler's
+    // angle-dependent passes (identity dropping, diagonal commutation)
+    // make this a per-member check, not an assumption.
+    if (!structureEquals(tm.physical, plan.transpiled) ||
+        tm.initialLayout != plan.initialLayout ||
+        tm.finalLayout != plan.finalLayout ||
+        tm.swapsInserted != plan.swapsInserted)
+        return std::nullopt;
+    if (plan.paramVarying.size() != tm.physical.size() * 3)
+        return std::nullopt;
+    if (plan.stitched.numQubits() != plan.transpiled.numQubits())
+        return std::nullopt;
+    for (size_t i = 0; i < tm.physical.size(); ++i) {
+        const Gate &got = tm.physical.gates()[i];
+        const Gate &want = plan.transpiled.gates()[i];
+        const int params = gateKindParamCount(got.kind());
+        for (int p = 0; p < params; ++p) {
+            if (plan.paramVarying[i * 3 + static_cast<size_t>(p)] != 0)
+                continue;
+            if (got.param(p) != want.param(p))
+                return std::nullopt;
+        }
+    }
+
+    CompileResult result = std::move(tm);
+    result.blockCount = plan.blockCount;
+    result.composedBlockCount = plan.composedBlockCount;
+    result.compositionEvaluations = plan.compositionEvaluations;
+    result.maxBlockHsd = plan.maxBlockHsd;
+    if (plan.adopted) {
+        Circuit stitched = plan.stitched;
+        for (const auto &[s, t] : plan.rebindMap) {
+            if (s < 0 || s >= static_cast<int>(stitched.size()) || t < 0 ||
+                t >= static_cast<int>(result.physical.size()))
+                return std::nullopt;
+            Gate &dst = stitched.gates()[static_cast<size_t>(s)];
+            const Gate &src = result.physical.gates()[static_cast<size_t>(t)];
+            if (dst.kind() != GateKind::U3 || src.kind() != GateKind::U3)
+                return std::nullopt;
+            for (int p = 0; p < 3; ++p)
+                dst.setParam(p, src.param(p));
+        }
+        result.physical = std::move(stitched);
+        result.stats = circuitStats(result.physical);
+        result.stats.depthPulses =
+            depthPulses(result.physical, result.topology);
+    }
+    result.composeMs = msSince(tRebind);
+    result.totalMs = msSince(t0);
+    return result;
+}
+
+namespace {
+
+/** Line/byte-chunk cursor over a serialized plan. */
+struct Cursor
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    bool line(std::string &out)
+    {
+        if (pos >= text.size())
+            return false;
+        const size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            return false;
+        out = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        return true;
+    }
+
+    bool chunk(size_t n, std::string &out)
+    {
+        if (pos + n > text.size())
+            return false;
+        out = text.substr(pos, n);
+        pos += n;
+        return true;
+    }
+};
+
+bool
+parseLong(const std::string &s, long long &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtoll(s.c_str(), &end, 10);
+    return errno == 0 && end == s.c_str() + s.size();
+}
+
+/** "key v1 v2 ..." -> values; false on key mismatch or parse failure. */
+bool
+parseKeyedLongs(const std::string &line, const std::string &key,
+                std::vector<long long> &out, size_t expected = 0)
+{
+    if (line.compare(0, key.size(), key) != 0 ||
+        (line.size() > key.size() && line[key.size()] != ' '))
+        return false;
+    out.clear();
+    size_t pos = key.size();
+    while (pos < line.size()) {
+        while (pos < line.size() && line[pos] == ' ')
+            ++pos;
+        if (pos >= line.size())
+            break;
+        size_t end = line.find(' ', pos);
+        if (end == std::string::npos)
+            end = line.size();
+        long long v = 0;
+        if (!parseLong(line.substr(pos, end - pos), v))
+            return false;
+        out.push_back(v);
+        pos = end;
+    }
+    return expected == 0 || out.size() == expected;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+skeletonPlanToText(const SkeletonPlan &plan)
+{
+    std::string out = "geyser-skeleton v1\n";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "technique %d\n",
+                  static_cast<int>(plan.technique));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "swaps %d\n", plan.swapsInserted);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "blocks %d\n", plan.blockCount);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "composedblocks %d\n",
+                  plan.composedBlockCount);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "evaluations %ld\n",
+                  plan.compositionEvaluations);
+    out += buf;
+    out += "maxhsd " + formatDouble(plan.maxBlockHsd) + "\n";
+    out += std::string("adopted ") + (plan.adopted ? "1" : "0") + "\n";
+
+    auto writeInts = [&out](const char *key, const std::vector<long long> &v) {
+        out += key;
+        out += ' ';
+        out += std::to_string(v.size());
+        for (const long long x : v) {
+            out += ' ';
+            out += std::to_string(x);
+        }
+        out += '\n';
+    };
+    std::vector<long long> ints;
+    for (const Qubit q : plan.initialLayout)
+        ints.push_back(q);
+    writeInts("ilayout", ints);
+    ints.clear();
+    for (const Qubit q : plan.finalLayout)
+        ints.push_back(q);
+    writeInts("flayout", ints);
+    ints.clear();
+    for (size_t i = 0; i < plan.paramVarying.size(); ++i)
+        if (plan.paramVarying[i] != 0)
+            ints.push_back(static_cast<long long>(i));
+    writeInts("varying", ints);
+    ints.clear();
+    for (const auto &[s, t] : plan.rebindMap) {
+        ints.push_back(s);
+        ints.push_back(t);
+    }
+    writeInts("rebind", ints);
+
+    const std::string transpiled = circuitToText(plan.transpiled);
+    out += "transpiled " + std::to_string(transpiled.size()) + "\n";
+    out += transpiled;
+    const std::string stitched = circuitToText(plan.stitched);
+    out += "stitched " + std::to_string(stitched.size()) + "\n";
+    out += stitched;
+    out += "end\n";
+    return out;
+}
+
+std::optional<SkeletonPlan>
+skeletonPlanFromText(const std::string &text)
+{
+    Cursor cursor{text};
+    std::string line;
+    if (!cursor.line(line) || line != "geyser-skeleton v1")
+        return std::nullopt;
+
+    SkeletonPlan plan;
+    std::vector<long long> v;
+    if (!cursor.line(line) || !parseKeyedLongs(line, "technique", v, 1))
+        return std::nullopt;
+    if (v[0] < 0 || v[0] > 3)
+        return std::nullopt;
+    plan.technique = static_cast<Technique>(v[0]);
+    if (!cursor.line(line) || !parseKeyedLongs(line, "swaps", v, 1))
+        return std::nullopt;
+    plan.swapsInserted = static_cast<int>(v[0]);
+    if (!cursor.line(line) || !parseKeyedLongs(line, "blocks", v, 1))
+        return std::nullopt;
+    plan.blockCount = static_cast<int>(v[0]);
+    if (!cursor.line(line) || !parseKeyedLongs(line, "composedblocks", v, 1))
+        return std::nullopt;
+    plan.composedBlockCount = static_cast<int>(v[0]);
+    if (!cursor.line(line) || !parseKeyedLongs(line, "evaluations", v, 1))
+        return std::nullopt;
+    plan.compositionEvaluations = static_cast<long>(v[0]);
+    if (!cursor.line(line) || line.compare(0, 7, "maxhsd ") != 0)
+        return std::nullopt;
+    {
+        const std::string value = line.substr(7);
+        char *end = nullptr;
+        plan.maxBlockHsd = std::strtod(value.c_str(), &end);
+        if (end != value.c_str() + value.size())
+            return std::nullopt;
+    }
+    if (!cursor.line(line) || !parseKeyedLongs(line, "adopted", v, 1))
+        return std::nullopt;
+    plan.adopted = v[0] != 0;
+
+    auto readCounted = [&](const char *key,
+                           std::vector<long long> &out) -> bool {
+        if (!cursor.line(line) || !parseKeyedLongs(line, key, out))
+            return false;
+        if (out.empty())
+            return false;
+        const long long count = out.front();
+        out.erase(out.begin());
+        return count >= 0 && out.size() == static_cast<size_t>(count);
+    };
+    if (!readCounted("ilayout", v))
+        return std::nullopt;
+    for (const long long x : v)
+        plan.initialLayout.push_back(static_cast<Qubit>(x));
+    if (!readCounted("flayout", v))
+        return std::nullopt;
+    for (const long long x : v)
+        plan.finalLayout.push_back(static_cast<Qubit>(x));
+    std::vector<long long> varyingIdx;
+    if (!readCounted("varying", varyingIdx))
+        return std::nullopt;
+    std::vector<long long> rebind;
+    if (!readCounted("rebind", rebind))
+        return std::nullopt;
+    if (rebind.size() % 2 != 0)
+        return std::nullopt;
+
+    auto readCircuit = [&](const char *key, Circuit &out) -> bool {
+        if (!cursor.line(line) || !parseKeyedLongs(line, key, v, 1))
+            return false;
+        if (v[0] < 0)
+            return false;
+        std::string body;
+        if (!cursor.chunk(static_cast<size_t>(v[0]), body))
+            return false;
+        try {
+            out = circuitFromText(body);
+        } catch (const std::exception &) {
+            return false;
+        }
+        return true;
+    };
+    if (!readCircuit("transpiled", plan.transpiled))
+        return std::nullopt;
+    if (!readCircuit("stitched", plan.stitched))
+        return std::nullopt;
+    if (!cursor.line(line) || line != "end")
+        return std::nullopt;
+
+    plan.paramVarying.assign(plan.transpiled.size() * 3, 0);
+    for (const long long idx : varyingIdx) {
+        if (idx < 0 || idx >= static_cast<long long>(plan.paramVarying.size()))
+            return std::nullopt;
+        plan.paramVarying[static_cast<size_t>(idx)] = 1;
+    }
+    for (size_t i = 0; i + 1 < rebind.size(); i += 2) {
+        const long long s = rebind[i];
+        const long long t = rebind[i + 1];
+        if (s < 0 || s >= static_cast<long long>(plan.stitched.size()) ||
+            t < 0 || t >= static_cast<long long>(plan.transpiled.size()))
+            return std::nullopt;
+        plan.rebindMap.emplace_back(static_cast<int>(s),
+                                    static_cast<int>(t));
+    }
+    return plan;
+}
+
+}  // namespace fleet
+}  // namespace geyser

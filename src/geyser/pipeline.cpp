@@ -368,6 +368,23 @@ compileGeyser(const Circuit &logical, const PipelineOptions &options)
     return result;
 }
 
+CompileResult
+transpileForTechnique(Technique technique, const Circuit &logical,
+                      const PipelineOptions &options)
+{
+    obs::EnabledScope traceScope(options.trace);
+    const Topology topo =
+        technique == Technique::Superconducting
+            ? Topology::squareForQubits(logical.numQubits())
+            : Topology::forQubits(logical.numQubits());
+    const bool optimized = technique != Technique::Baseline;
+    CompileResult result =
+        mapCircuit(technique, logical, topo, optimized, options);
+    fillStats(result);
+    result.totalMs = result.transpileMs;
+    return result;
+}
+
 namespace {
 
 CompileResult

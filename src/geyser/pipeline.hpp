@@ -153,6 +153,20 @@ CompileResult compileSuperconducting(const Circuit &logical,
                                      const PipelineOptions &options = {});
 
 /**
+ * The shared mapping stage only — basis lowering, optimization passes,
+ * and routing with the technique's topology and optimization level —
+ * with no blocking or composition. The result's `physical` circuit is
+ * the routed pre-blocking circuit; for the non-Geyser techniques this
+ * matches the corresponding full compile (stats filled, no final
+ * whole-result verification). The fleet re-binder uses this to obtain a
+ * sweep member's routed structure and angles cheaply before re-binding
+ * them against a cached composed skeleton.
+ */
+CompileResult transpileForTechnique(Technique technique,
+                                    const Circuit &logical,
+                                    const PipelineOptions &options = {});
+
+/**
  * Project a distribution over the physical atoms down to the logical
  * qubits through the final layout (unused atoms are marginalized out).
  */

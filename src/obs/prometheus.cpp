@@ -73,6 +73,20 @@ targetFor(const std::string &internal)
           1.0}},
         {"sim.noise.readout_events",
          {"geyser_sim_noise_events_total", "channel=\"readout\"", 1.0}},
+        // Fleet compilation: batch jobs, skeleton groups, and the
+        // re-bind/fallback split (src/fleet).
+        {"fleet.jobs", {"geyser_fleet_jobs_total", "", 1.0}},
+        {"fleet.groups", {"geyser_fleet_groups_total", "", 1.0}},
+        {"fleet.rebound",
+         {"geyser_fleet_members_total", "path=\"rebound\"", 1.0}},
+        {"fleet.fallback",
+         {"geyser_fleet_members_total", "path=\"fallback\"", 1.0}},
+        {"fleet.plan_hit",
+         {"geyser_fleet_plans_total", "outcome=\"hit\"", 1.0}},
+        {"fleet.plan_store",
+         {"geyser_fleet_plans_total", "outcome=\"store\"", 1.0}},
+        {"fleet.verify_failure",
+         {"geyser_fleet_verify_failures_total", "", 1.0}},
     };
     const auto it = kTable.find(internal);
     if (it != kTable.end())

@@ -198,6 +198,8 @@ verbName(Verb verb)
         return "metrics";
       case Verb::Trace:
         return "trace";
+      case Verb::Batch:
+        return "batch";
     }
     return "?";
 }
@@ -288,6 +290,21 @@ encodeRequest(const Request &request)
         out += " priority=" + std::to_string(request.priority);
         out += " deadline_ms=" + std::to_string(request.deadlineMs);
         out += request.useCache ? " cache=on" : " cache=off";
+        out += " payload=" + std::to_string(request.qasm.size());
+        out += '\n';
+        out += request.qasm;
+        out += '\n';
+        return out;
+      case Verb::Batch:
+        if (request.qasm.size() > kMaxPayloadBytes)
+            throw ValidationError("batch: payload exceeds " +
+                                  std::to_string(kMaxPayloadBytes) +
+                                  " bytes");
+        // Canonical form, like submit: every field, fixed order.
+        out += " technique=";
+        out += wireTechniqueName(request.technique);
+        out += request.useCache ? " cache=on" : " cache=off";
+        out += " verify=" + std::to_string(request.verifySample);
         out += " payload=" + std::to_string(request.qasm.size());
         out += '\n';
         out += request.qasm;
@@ -390,6 +407,34 @@ parseRequestHeader(const std::string &line)
         }
         if (!sawPayload)
             bad("submit: missing payload");
+        frame.hasPayload = true;
+        return frame;
+    }
+    if (verb == "batch") {
+        request.verb = Verb::Batch;
+        bool sawPayload = false;
+        for (const auto &[key, value] : fields) {
+            if (key == "technique") {
+                request.technique = techniqueFromWire(value);
+            } else if (key == "cache") {
+                if (value == "on")
+                    request.useCache = true;
+                else if (value == "off")
+                    request.useCache = false;
+                else
+                    bad("cache: unknown value '" + value + "'");
+            } else if (key == "verify") {
+                request.verifySample =
+                    static_cast<int>(parseSigned(key, value, 0, 1000000));
+            } else if (key == "payload") {
+                frame.payloadBytes = parsePayloadBytes(value);
+                sawPayload = true;
+            } else {
+                bad("batch: unknown field '" + key + "'");
+            }
+        }
+        if (!sawPayload)
+            bad("batch: missing payload");
         frame.hasPayload = true;
         return frame;
     }

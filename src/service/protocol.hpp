@@ -66,6 +66,13 @@ enum class Verb
     Metrics,
     /** Per-job Chrome trace JSON by job id (PR 7). */
     Trace,
+    /**
+     * Fleet compilation (PR 10): the payload is a sequence of OpenQASM
+     * programs separated by "%%" lines; the daemon compiles them as one
+     * batch with skeleton/parameter structure sharing and replies with
+     * the aggregate fair-comparison report as a JSON payload.
+     */
+    Batch,
 };
 
 /** Wire token of a verb ("submit", "status", ...). */
@@ -87,9 +94,12 @@ struct Request
     int priority = 0;       ///< Higher runs sooner; FIFO within a level.
     long deadlineMs = 0;    ///< Per-job deadline from submit time; 0 = none.
     bool useCache = true;   ///< Serve/store through the persistent cache.
-    std::string qasm;       ///< Submit payload (OpenQASM 2.0).
+    std::string qasm;       ///< Submit/batch payload (OpenQASM 2.0).
     // Status / result / cancel / trace field.
     uint64_t id = 0;
+    // Batch field: re-bound members verified from scratch per skeleton
+    // group (0 disables verification).
+    int verifySample = 1;
 };
 
 /**

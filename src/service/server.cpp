@@ -336,6 +336,29 @@ SocketServer::handle(const Request &request, bool *closeConnection,
             obs::chromeTraceJson(events, obs::threadNames());
         return response;
       }
+      case Verb::Batch: {
+        try {
+            BatchSpec spec;
+            spec.payload = request.qasm;
+            spec.technique = request.technique;
+            spec.useCache = request.useCache;
+            spec.verifySample = request.verifySample;
+            const fleet::FleetReport report = service_.compileBatch(spec);
+            response.set("members", std::to_string(report.members));
+            response.set("jobs", std::to_string(report.jobs));
+            response.set("groups", std::to_string(report.groups));
+            response.set("rebound", std::to_string(report.rebound));
+            response.set("fallback", std::to_string(report.fallback));
+            response.set("verify_failures",
+                         std::to_string(report.verifyFailures));
+            response.set("wall_ms", fixed3(report.wallMs));
+            response.hasPayload = true;
+            response.payload = report.toJson();
+        } catch (const std::exception &e) {
+            return errorResponse(e);
+        }
+        return response;
+      }
       case Verb::Shutdown:
         response.set("stopping", "1");
         if (closeConnection != nullptr)

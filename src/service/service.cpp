@@ -151,6 +151,59 @@ CompileService::submit(const JobSpec &spec)
     return id;
 }
 
+fleet::FleetReport
+CompileService::compileBatch(const BatchSpec &spec)
+{
+    ServiceMetrics &m = metrics();
+
+    auto countRejected = [&] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.rejected;
+        m.rejected.add();
+    };
+
+    if (spec.payload.size() > config_.maxQasmBytes) {
+        countRejected();
+        throw ValidationError(
+            "batch: payload of " + std::to_string(spec.payload.size()) +
+            " bytes exceeds the " + std::to_string(config_.maxQasmBytes) +
+            "-byte limit");
+    }
+    std::vector<fleet::FleetJob> jobs;
+    try {
+        jobs = fleet::parseFleetPayload(spec.payload);
+    } catch (const std::invalid_argument &) {
+        countRejected();
+        throw;
+    }
+    if (jobs.empty()) {
+        countRejected();
+        throw ValidationError("batch: payload contains no members");
+    }
+    if (jobs.size() > static_cast<size_t>(config_.maxBatchMembers)) {
+        countRejected();
+        throw ValidationError(
+            "batch: " + std::to_string(jobs.size()) +
+            " members exceed the " +
+            std::to_string(config_.maxBatchMembers) + "-member limit");
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) {
+            ++stats_.rejected;
+            m.rejected.add();
+            throw UnavailableError("batch: service is shutting down");
+        }
+    }
+
+    fleet::FleetOptions options;
+    options.techniques = {spec.technique};
+    options.pipeline = config_.pipeline;
+    options.pipeline.cache = spec.useCache ? config_.cache : nullptr;
+    options.verifySample = spec.verifySample;
+    return fleet::compileFleet(jobs, options);
+}
+
 void
 CompileService::runOne()
 {

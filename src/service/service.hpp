@@ -37,6 +37,7 @@
 #include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "fleet/fleet.hpp"
 #include "geyser/pipeline.hpp"
 #include "service/job_queue.hpp"
 #include "service/protocol.hpp"
@@ -105,6 +106,17 @@ struct ServiceConfig
     size_t retainedJobTraces = 64;
     /** Pipeline knobs shared by every job (cache/cancel are per-job). */
     PipelineOptions pipeline;
+    /** Cap on members in one `batch` request (each is one circuit). */
+    int maxBatchMembers = 4096;
+};
+
+/** What a client may ask for per batch (the batch verb's fields). */
+struct BatchSpec
+{
+    std::string payload;  ///< QASM programs separated by "%%" lines.
+    Technique technique = Technique::Geyser;
+    bool useCache = true;
+    int verifySample = 1;
 };
 
 /** What a client may ask for per job (the submit verb's fields). */
@@ -189,6 +201,16 @@ class CompileService
      * UnavailableError when the queue is full or the service stopped.
      */
     uint64_t submit(const JobSpec &spec);
+
+    /**
+     * Compile a fleet synchronously on the caller's thread (the fleet
+     * engine fans out internally on the global pool — batch wall time
+     * is dominated by compiles, not queueing, so it bypasses the job
+     * queue). Validation mirrors submit(): malformed members throw
+     * ParseError/ValidationError, oversize payloads and member counts
+     * ValidationError, a stopped service UnavailableError.
+     */
+    fleet::FleetReport compileBatch(const BatchSpec &spec);
 
     /**
      * Snapshot of one job; nullopt for an unknown/expired-out id.

@@ -62,14 +62,16 @@ loadGolden(const std::string &path)
     return records;
 }
 
-/** Both pinned transcripts: the original v1 grammar and the PR-7
- *  observability verbs (metrics/trace), kept in a separate file so the
- *  original stays byte-identical across PRs. */
+/** All pinned transcripts: the original v1 grammar, the PR-7
+ *  observability verbs (metrics/trace), and the PR-10 fleet batch
+ *  verb — each new verb gets its own file so the earlier transcripts
+ *  stay byte-identical across PRs. */
 std::vector<std::string>
 goldenPaths()
 {
     const std::string dir(GEYSER_SERVICE_GOLDEN_DIR);
-    return {dir + "/protocol_v1.txt", dir + "/protocol_v1_obs.txt"};
+    return {dir + "/protocol_v1.txt", dir + "/protocol_v1_obs.txt",
+            dir + "/protocol_v1_fleet.txt"};
 }
 
 std::vector<GoldenRecord>
@@ -89,6 +91,7 @@ TEST(ProtocolGolden, TranscriptIsNonTrivial)
 {
     EXPECT_GE(loadGolden(goldenPaths()[0]).size(), 12u);
     EXPECT_GE(loadGolden(goldenPaths()[1]).size(), 5u);
+    EXPECT_GE(loadGolden(goldenPaths()[2]).size(), 4u);
 }
 
 TEST(ProtocolGolden, EveryFrameParsesAndReEncodesByteExact)

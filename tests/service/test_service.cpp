@@ -16,6 +16,7 @@
 #include <string>
 #include <thread>
 
+#include "algos/algos.hpp"
 #include "algos/suite.hpp"
 #include "cache/result_cache.hpp"
 #include "common/error.hpp"
@@ -828,4 +829,109 @@ TEST(ServiceObservability, AccessLogWritesOneJsonlLinePerTerminalJob)
     EXPECT_EQ(lines, 2);
     EXPECT_TRUE(sawDone);
     EXPECT_TRUE(sawCancelled);
+}
+
+// ---- PR 10: fleet batch verb -----------------------------------------
+
+namespace {
+
+/** N VQE members sharing one skeleton (same structure, seeded angles). */
+std::string
+fleetPayloadFor(int members)
+{
+    std::string payload;
+    for (int seed = 0; seed < members; ++seed) {
+        if (seed > 0)
+            payload += "%%\n";
+        payload += circuitToQasm(
+            vqeBenchmark(4, 1, static_cast<uint64_t>(seed)));
+    }
+    return payload;
+}
+
+}  // namespace
+
+TEST(ServiceBatch, CompileBatchSharesOneSkeletonAcrossMembers)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    CompileService service(config);
+
+    BatchSpec spec;
+    spec.payload = fleetPayloadFor(6);
+    spec.useCache = false;
+    const fleet::FleetReport report = service.compileBatch(spec);
+
+    EXPECT_EQ(report.members, 6);
+    EXPECT_EQ(report.jobs, 6);
+    EXPECT_EQ(report.groups, 1);
+    EXPECT_EQ(report.rebound + report.fallback, report.members);
+    EXPECT_GE(report.rebound, 1);
+    EXPECT_EQ(report.verifyFailures, 0);
+    EXPECT_GE(report.verified, 1);
+    ASSERT_EQ(report.rows.size(), 6u);
+    for (const fleet::MemberRow &row : report.rows)
+        EXPECT_GT(row.pulses, 0) << row.name;
+}
+
+TEST(ServiceBatch, CompileBatchRejectsAtTheBoundary)
+{
+    ServiceConfig config;
+    config.workers = 0;
+    config.maxBatchMembers = 2;
+    CompileService service(config);
+
+    BatchSpec empty;
+    empty.payload = "\n%%\n\n";
+    EXPECT_THROW(service.compileBatch(empty), ValidationError);
+
+    BatchSpec garbage;
+    garbage.payload = "this is not qasm";
+    EXPECT_THROW(service.compileBatch(garbage), std::invalid_argument);
+
+    BatchSpec tooMany;
+    tooMany.payload = fleetPayloadFor(3);
+    EXPECT_THROW(service.compileBatch(tooMany), ValidationError);
+
+    EXPECT_EQ(service.stats().rejected, 3);
+
+    service.shutdown(false);
+    BatchSpec late;
+    late.payload = fleetPayloadFor(1);
+    EXPECT_THROW(service.compileBatch(late), UnavailableError);
+}
+
+TEST(SocketService, BatchOverWireCarriesReportJson)
+{
+    ServiceConfig config;
+    config.workers = 1;
+    TcpHarness harness(config);
+    ServiceClient client = ServiceClient::overTcp(harness.server.port());
+
+    Request request;
+    request.verb = Verb::Batch;
+    request.technique = Technique::Geyser;
+    request.useCache = false;
+    request.verifySample = 1;
+    request.qasm = fleetPayloadFor(4);
+    const Response response = client.roundTrip(request);
+    ASSERT_TRUE(response.ok);
+    EXPECT_EQ(*response.find("members"), "4");
+    EXPECT_EQ(*response.find("jobs"), "4");
+    EXPECT_EQ(*response.find("groups"), "1");
+    EXPECT_EQ(*response.find("verify_failures"), "0");
+    ASSERT_TRUE(response.hasPayload);
+    EXPECT_NE(response.payload.find("geyser-fleet"), std::string::npos);
+    EXPECT_NE(response.payload.find("\"members\""), std::string::npos);
+    EXPECT_NE(response.payload.find("\"techniques\""), std::string::npos);
+
+    // A batch error is structured, not a framing error: the connection
+    // survives for the next request.
+    Request bad = request;
+    bad.qasm = "not qasm at all";
+    const Response err = client.roundTrip(bad);
+    ASSERT_FALSE(err.ok);
+    EXPECT_EQ(*err.find("kind"), "parse");
+    EXPECT_NE(err.payload.find("fleet member 0"), std::string::npos);
+    EXPECT_TRUE(client.ping().ok);
 }

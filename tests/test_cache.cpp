@@ -7,7 +7,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -50,6 +54,7 @@ class CacheTest : public ::testing::Test
         cfg.dir = dir_;
         cfg.maxBytes = max_bytes;
         cfg.crossProcessWaitMs = 0;  // No other processes in tests.
+        cfg.evictionGraceMs = 0;     // Evict freshly written entries too.
         return cfg;
     }
 
@@ -440,6 +445,188 @@ TEST_F(CacheTest, ComposeSpillWritesBlockEntries)
         checked = true;
     }
     EXPECT_TRUE(checked);
+}
+
+
+// ---- Satellite 1: stale-lock stat-error handling (PR 10) -------------
+
+TEST(LockWatch, OkObservationsAreFreshUntilStaleAge)
+{
+    using namespace std::chrono;
+    cache::detail::LockWatch watch(minutes(10));
+    const auto now = steady_clock::now();
+    EXPECT_TRUE(watch.isFresh(cache::detail::LockStat::Ok, seconds(1),
+                              now));
+    EXPECT_TRUE(watch.isFresh(cache::detail::LockStat::Ok,
+                              minutes(10) - seconds(1), now));
+    EXPECT_FALSE(watch.isFresh(cache::detail::LockStat::Ok, minutes(10),
+                               now));
+    EXPECT_FALSE(watch.isFresh(cache::detail::LockStat::Ok, minutes(20),
+                               now));
+}
+
+TEST(LockWatch, MissingLockIsNeverFresh)
+{
+    using namespace std::chrono;
+    cache::detail::LockWatch watch(minutes(10));
+    EXPECT_FALSE(watch.isFresh(cache::detail::LockStat::Missing,
+                               seconds(0), steady_clock::now()));
+}
+
+TEST(LockWatch, StatErrorIsFreshOnlyForStaleAgeFromFirstObservation)
+{
+    // The regression this pins down: a stat *error* (EACCES, EIO — not
+    // ENOENT) must not be read as "the lock is stale, barge ahead".
+    // The lock is presumed held from the first failed observation and
+    // only treated as abandoned once the stale-age budget has elapsed
+    // across repeated failures.
+    using namespace std::chrono;
+    cache::detail::LockWatch watch(minutes(10));
+    const auto t0 = steady_clock::now();
+    EXPECT_TRUE(watch.isFresh(cache::detail::LockStat::Error, seconds(0),
+                              t0));
+    EXPECT_TRUE(watch.isFresh(cache::detail::LockStat::Error, seconds(0),
+                              t0 + minutes(10) - seconds(1)));
+    EXPECT_FALSE(watch.isFresh(cache::detail::LockStat::Error, seconds(0),
+                               t0 + minutes(10)));
+
+    // A successful stat resets the error clock: a fresh error after an
+    // Ok observation gets a full budget again.
+    cache::detail::LockWatch reset(minutes(10));
+    EXPECT_TRUE(reset.isFresh(cache::detail::LockStat::Error, seconds(0),
+                              t0));
+    EXPECT_TRUE(reset.isFresh(cache::detail::LockStat::Ok, seconds(1),
+                              t0 + minutes(5)));
+    EXPECT_TRUE(reset.isFresh(cache::detail::LockStat::Error, seconds(0),
+                              t0 + minutes(12)));
+    EXPECT_FALSE(reset.isFresh(cache::detail::LockStat::Error, seconds(0),
+                               t0 + minutes(22)));
+}
+
+// ---- Satellite 2: eviction vs non-entry files + grace window ---------
+
+TEST_F(CacheTest, EvictionSkipsNonEntryFilesAndJanitorsStaleLitter)
+{
+    const auto backdate = [](const fs::path &p) {
+        fs::last_write_time(p,
+                            fs::file_time_type::clock::now() -
+                                std::chrono::minutes(20));
+    };
+    const auto plant = [&](const std::string &name, bool old) {
+        const fs::path p = fs::path(dir_) / name;
+        std::ofstream(p) << std::string(64, 'z');
+        if (old)
+            backdate(p);
+        return p;
+    };
+    // A live lock (fresh), litter a dead process abandoned (old), and a
+    // foreign file that is not the cache's to manage however old it is.
+    const fs::path freshLock = plant("inflight.lock", false);
+    const fs::path staleLock = plant("dead.lock", true);
+    const fs::path staleTmp = plant("e.gce.tmp4242", true);
+    const fs::path staleCorrupt = plant("bad.gce.corrupt", true);
+    const fs::path foreign = plant("README.txt", true);
+
+    const std::string payload(4096, 'x');
+    cache::ResultCache cache(config(4 * 5000));
+    for (int i = 0; i < 12; ++i) {
+        ASSERT_TRUE(cache.store("c-entry" + std::to_string(i), payload));
+        std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+
+    // Entries were evicted, but never the non-entry files...
+    EXPECT_GE(cache.stats().evicted, 1);
+    EXPECT_TRUE(fs::exists(freshLock));
+    EXPECT_TRUE(fs::exists(foreign));
+    // ...while the janitor reaped exactly the abandoned litter.
+    EXPECT_FALSE(fs::exists(staleLock));
+    EXPECT_FALSE(fs::exists(staleTmp));
+    EXPECT_FALSE(fs::exists(staleCorrupt));
+    EXPECT_EQ(cache.stats().janitorRemoved, 3);
+}
+
+TEST_F(CacheTest, EvictionGraceWindowShieldsFreshlyWrittenEntries)
+{
+    const std::string payload(4096, 'x');
+    cache::CacheConfig cfg = config(4 * 5000);
+    cfg.evictionGraceMs = 60'000;
+    cache::ResultCache cache(cfg);
+    // Every entry is younger than the grace window: the cap may be
+    // exceeded transiently, but nothing fresh is deleted.
+    for (int i = 0; i < 12; ++i)
+        ASSERT_TRUE(cache.store("c-young" + std::to_string(i), payload));
+    EXPECT_EQ(cache.stats().evicted, 0);
+    for (int i = 0; i < 12; ++i)
+        EXPECT_TRUE(cache.load("c-young" + std::to_string(i)).has_value())
+            << i;
+
+    // Once entries age past the window they become candidates again.
+    for (int i = 0; i < 12; ++i)
+        fs::last_write_time(cache.entryPath("c-young" + std::to_string(i)),
+                            fs::file_time_type::clock::now() -
+                                std::chrono::minutes(2));
+    ASSERT_TRUE(cache.store("c-trigger", payload));
+    EXPECT_GE(cache.stats().evicted, 1);
+    EXPECT_TRUE(cache.load("c-trigger").has_value());
+    EXPECT_FALSE(fs::exists(cache.entryPath("c-young0")));
+}
+
+TEST_F(CacheTest, EvictionFromASecondProcessSparesLocksAndFreshEntries)
+{
+    // Two-process shape of the same invariants: one process holds a
+    // lock and has just published an entry; another process's eviction
+    // pass (over the shared directory) must not delete either.
+    const std::string payload(4096, 'x');
+    {
+        cache::ResultCache writer(config());  // Unbounded: no eviction.
+        for (int i = 0; i < 12; ++i)
+            ASSERT_TRUE(writer.store("c-old" + std::to_string(i),
+                                     payload));
+    }
+    for (int i = 0; i < 12; ++i) {
+        const fs::path p = fs::path(dir_) / ("c-old" + std::to_string(i) +
+                                             ".gce");
+        fs::last_write_time(p, fs::file_time_type::clock::now() -
+                                   std::chrono::minutes(2) -
+                                   std::chrono::seconds(i));
+    }
+    const fs::path heldLock = fs::path(dir_) / "c-held.gce.lock";
+    std::ofstream(heldLock) << "pid 12345";
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // The second process: a capped cache with the default-style
+        // grace window stores one fresh entry, which runs eviction over
+        // everything the first process left behind.
+        cache::CacheConfig cfg;
+        cfg.dir = dir_;
+        cfg.maxBytes = 4 * 5000;
+        cfg.crossProcessWaitMs = 0;
+        cfg.evictionGraceMs = 60'000;
+        cache::ResultCache evictor(cfg);
+        const bool stored = evictor.store("c-fresh", payload);
+        const bool evicted = evictor.stats().evicted >= 1;
+        ::_exit(stored && evicted ? 0 : 1);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+
+    // The lock guarding the first process's in-flight compute survived,
+    // as did the second process's own fresh entry; the old generation
+    // was trimmed toward the cap.
+    EXPECT_TRUE(fs::exists(heldLock));
+    cache::ResultCache reader(config());
+    EXPECT_TRUE(reader.load("c-fresh").has_value());
+    // LRU trims oldest-first, so the most backdated entry goes first.
+    EXPECT_FALSE(fs::exists(reader.entryPath("c-old11")));
+    long long remaining = 0;
+    for (const auto &entry : fs::directory_iterator(dir_))
+        if (entry.path().extension() == ".gce")
+            remaining += static_cast<long long>(entry.file_size());
+    EXPECT_LE(remaining, 4 * 5000 + 5000);
 }
 
 }  // namespace

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Fleet compilation tests: skeleton-key canonicalization properties,
+ * skeleton grouping, plan serialization round trips, the 1e-12 re-bind
+ * vs from-scratch oracle guarantee, warm-cache plan reuse, and the
+ * batch payload parser.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "algos/algos.hpp"
+#include "cache/result_cache.hpp"
+#include "common/error.hpp"
+#include "fleet/fleet.hpp"
+#include "io/serialize.hpp"
+
+using namespace geyser;
+using fleet::ParamSlot;
+
+namespace {
+
+/** Every (gate, param) slot of a circuit — the explicit full mask. */
+std::vector<std::pair<int, int>>
+allSlots(const Circuit &circuit)
+{
+    std::vector<std::pair<int, int>> slots;
+    for (size_t g = 0; g < circuit.size(); ++g)
+        for (int p = 0; p < circuit.gates()[g].numParams(); ++p)
+            slots.emplace_back(static_cast<int>(g), p);
+    return slots;
+}
+
+/** Structure equal and every parameter within `tol`. */
+void
+expectCircuitsMatch(const Circuit &a, const Circuit &b, double tol)
+{
+    ASSERT_EQ(a.numQubits(), b.numQubits());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        const Gate &ga = a.gates()[i];
+        const Gate &gb = b.gates()[i];
+        ASSERT_EQ(ga.kind(), gb.kind()) << "gate " << i;
+        ASSERT_EQ(ga.numQubits(), gb.numQubits()) << "gate " << i;
+        for (int q = 0; q < ga.numQubits(); ++q)
+            ASSERT_EQ(ga.qubit(q), gb.qubit(q)) << "gate " << i;
+        for (int p = 0; p < ga.numParams(); ++p)
+            ASSERT_LE(std::abs(ga.param(p) - gb.param(p)), tol)
+                << "gate " << i << " param " << p;
+    }
+}
+
+std::string
+tempDir(const char *tag)
+{
+    std::string pattern =
+        ::testing::TempDir() + "geyser_fleet_" + tag + "_XXXXXX";
+    EXPECT_NE(::mkdtemp(pattern.data()), nullptr);
+    return pattern;
+}
+
+}  // namespace
+
+// ---- Satellite 4: skeleton-key canonicalization properties -----------
+
+TEST(SkeletonKey, SameStructureDifferentAnglesShareOneKey)
+{
+    const PipelineOptions options;
+    const Circuit a = vqeBenchmark(4, 2, 1);
+    const Circuit b = vqeBenchmark(4, 2, 2);
+
+    // Empty mask = every parameter varies: a pure structure hash.
+    const std::string keyA =
+        cache::skeletonCacheKey(a, {}, options, Technique::Geyser);
+    const std::string keyB =
+        cache::skeletonCacheKey(b, {}, options, Technique::Geyser);
+    EXPECT_EQ(keyA, keyB);
+    EXPECT_EQ(keyA.rfind("s-", 0), 0u) << keyA;
+
+    // The explicit all-slots mask canonicalizes to the same key as the
+    // empty mask — there is one representation of "all varying".
+    EXPECT_EQ(cache::skeletonCacheKey(a, allSlots(a), options,
+                                      Technique::Geyser),
+              keyA);
+
+    // And the skeleton key is distinct from the exact compile key,
+    // which hashes the angles.
+    EXPECT_NE(keyA,
+              cache::compileCacheKey(a, options, Technique::Geyser));
+}
+
+TEST(SkeletonKey, StructuralChangesChangeTheKey)
+{
+    const PipelineOptions options;
+    Circuit base(3);
+    base.u3(0, 0.1, 0.2, 0.3);
+    base.cx(0, 1);
+    base.u3(2, 0.4, 0.5, 0.6);
+    const std::string key =
+        cache::skeletonCacheKey(base, {}, options, Technique::Geyser);
+
+    {  // Different gate kind at one position.
+        Circuit c(3);
+        c.u3(0, 0.1, 0.2, 0.3);
+        c.cz(0, 1);
+        c.u3(2, 0.4, 0.5, 0.6);
+        EXPECT_NE(cache::skeletonCacheKey(c, {}, options,
+                                          Technique::Geyser),
+                  key);
+    }
+    {  // Different operands.
+        Circuit c(3);
+        c.u3(0, 0.1, 0.2, 0.3);
+        c.cx(1, 0);
+        c.u3(2, 0.4, 0.5, 0.6);
+        EXPECT_NE(cache::skeletonCacheKey(c, {}, options,
+                                          Technique::Geyser),
+                  key);
+    }
+    {  // Extra qubit.
+        Circuit c(4);
+        c.u3(0, 0.1, 0.2, 0.3);
+        c.cx(0, 1);
+        c.u3(2, 0.4, 0.5, 0.6);
+        EXPECT_NE(cache::skeletonCacheKey(c, {}, options,
+                                          Technique::Geyser),
+                  key);
+    }
+    {  // Extra gate.
+        Circuit c = base;
+        c.h(2);
+        EXPECT_NE(cache::skeletonCacheKey(c, {}, options,
+                                          Technique::Geyser),
+                  key);
+    }
+    // Different technique (and hence topology).
+    EXPECT_NE(cache::skeletonCacheKey(base, {}, options,
+                                      Technique::Superconducting),
+              key);
+    // Different behaviour-relevant pipeline option.
+    PipelineOptions other = options;
+    other.compose.threshold *= 0.5;
+    EXPECT_NE(cache::skeletonCacheKey(base, {}, other, Technique::Geyser),
+              key);
+}
+
+TEST(SkeletonKey, FixedAnglesAreBitExactVaryingAnglesCanonicalize)
+{
+    const PipelineOptions options;
+    Circuit base(2);
+    base.u3(0, 0.1, 0.2, 0.3);
+    base.cx(0, 1);
+    base.u3(1, 0.4, 0.5, 0.6);
+
+    // Only gate 2's angles vary; gate 0's are fixed.
+    const std::vector<std::pair<int, int>> mask = {{2, 0}, {2, 1}, {2, 2}};
+    const std::string key =
+        cache::skeletonCacheKey(base, mask, options, Technique::Geyser);
+
+    // Changing a varying angle keeps the key.
+    {
+        Circuit c(2);
+        c.u3(0, 0.1, 0.2, 0.3);
+        c.cx(0, 1);
+        c.u3(1, 9.4, 9.5, 9.6);
+        EXPECT_EQ(cache::skeletonCacheKey(c, mask, options,
+                                          Technique::Geyser),
+                  key);
+    }
+    // Changing a fixed angle changes the key.
+    {
+        Circuit c(2);
+        c.u3(0, 0.1000000001, 0.2, 0.3);
+        c.cx(0, 1);
+        c.u3(1, 0.4, 0.5, 0.6);
+        EXPECT_NE(cache::skeletonCacheKey(c, mask, options,
+                                          Technique::Geyser),
+                  key);
+    }
+    // Shrinking the mask (slot becomes fixed) changes the key.
+    EXPECT_NE(cache::skeletonCacheKey(base, {{2, 0}}, options,
+                                      Technique::Geyser),
+              key);
+}
+
+// ---- Grouping --------------------------------------------------------
+
+TEST(SkeletonGrouping, PartitionsByStructureAndDerivesVaryingSlots)
+{
+    std::vector<Circuit> members;
+    for (uint64_t seed = 0; seed < 3; ++seed)
+        members.push_back(vqeBenchmark(4, 1, seed));
+    members.push_back(vqeBenchmark(5, 1, 0));  // Different skeleton.
+    members.push_back(vqeBenchmark(4, 1, 7));  // Back to the first.
+
+    const auto groups = fleet::groupBySkeleton(members);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].members, (std::vector<int>{0, 1, 2, 4}));
+    EXPECT_EQ(groups[1].members, (std::vector<int>{3}));
+
+    // The varying slots are exactly the slots that differ somewhere in
+    // the group, and every one is a real parameter slot.
+    ASSERT_FALSE(groups[0].varyingSlots.empty());
+    const Circuit &rep = members[0];
+    for (const ParamSlot &slot : groups[0].varyingSlots) {
+        ASSERT_GE(slot.gate, 0);
+        ASSERT_LT(slot.gate, static_cast<int>(rep.size()));
+        ASSERT_LT(slot.param, rep.gates()[slot.gate].numParams());
+        bool differs = false;
+        for (const int m : groups[0].members)
+            differs = differs ||
+                      members[static_cast<size_t>(m)]
+                              .gates()[slot.gate]
+                              .param(slot.param) !=
+                          rep.gates()[slot.gate].param(slot.param);
+        EXPECT_TRUE(differs)
+            << "slot (" << slot.gate << "," << slot.param << ")";
+    }
+    // A single-member group has nothing varying.
+    EXPECT_TRUE(groups[1].varyingSlots.empty());
+    // Digests separate the structures.
+    EXPECT_NE(groups[0].digest, groups[1].digest);
+    EXPECT_EQ(groups[0].digest, fleet::structureDigest(members[4]));
+}
+
+// ---- Plan build / re-bind / oracle -----------------------------------
+
+TEST(SkeletonPlan, RebindMatchesFromScratchOracleTo1e12)
+{
+    std::vector<Circuit> members;
+    for (uint64_t seed = 0; seed < 4; ++seed)
+        members.push_back(vqeBenchmark(4, 1, seed));
+    const auto groups = fleet::groupBySkeleton(members);
+    ASSERT_EQ(groups.size(), 1u);
+
+    PipelineOptions options;
+    const auto plan = fleet::buildSkeletonPlan(
+        Technique::Geyser, members[0], groups[0].varyingSlots, options);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_GT(plan->blockCount, 0);
+
+    for (size_t m = 1; m < members.size(); ++m) {
+        const auto rebound =
+            fleet::rebindMember(*plan, members[m], options);
+        ASSERT_TRUE(rebound.has_value()) << "member " << m;
+
+        // Oracle: the same stitched construction, rebuilt from scratch
+        // for this member — no memo, no persistent cache.
+        const auto oracle = fleet::buildSkeletonPlan(
+            Technique::Geyser, members[m], groups[0].varyingSlots,
+            options, /*cachedCompose=*/false);
+        ASSERT_TRUE(oracle.has_value()) << "member " << m;
+        const auto fromScratch =
+            fleet::rebindMember(*oracle, members[m], options);
+        ASSERT_TRUE(fromScratch.has_value()) << "member " << m;
+
+        expectCircuitsMatch(rebound->physical, fromScratch->physical,
+                            1e-12);
+        EXPECT_EQ(rebound->stats.totalPulses,
+                  fromScratch->stats.totalPulses);
+        EXPECT_EQ(rebound->swapsInserted, fromScratch->swapsInserted);
+    }
+}
+
+TEST(SkeletonPlan, RebindRejectsDivergentMembers)
+{
+    std::vector<Circuit> members;
+    for (uint64_t seed = 0; seed < 2; ++seed)
+        members.push_back(vqeBenchmark(4, 1, seed));
+    const auto groups = fleet::groupBySkeleton(members);
+    PipelineOptions options;
+    const auto plan = fleet::buildSkeletonPlan(
+        Technique::Geyser, members[0], groups[0].varyingSlots, options);
+    ASSERT_TRUE(plan.has_value());
+
+    // A structurally different circuit cannot re-bind.
+    EXPECT_FALSE(
+        fleet::rebindMember(*plan, vqeBenchmark(4, 2, 0), options)
+            .has_value());
+    EXPECT_FALSE(
+        fleet::rebindMember(*plan, vqeBenchmark(5, 1, 0), options)
+            .has_value());
+}
+
+TEST(SkeletonPlan, SerializationRoundTripsAndRebindsIdentically)
+{
+    std::vector<Circuit> members;
+    for (uint64_t seed = 0; seed < 3; ++seed)
+        members.push_back(vqeBenchmark(4, 1, seed));
+    const auto groups = fleet::groupBySkeleton(members);
+    PipelineOptions options;
+    const auto plan = fleet::buildSkeletonPlan(
+        Technique::Geyser, members[0], groups[0].varyingSlots, options);
+    ASSERT_TRUE(plan.has_value());
+
+    const std::string text = fleet::skeletonPlanToText(*plan);
+    const auto parsed = fleet::skeletonPlanFromText(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->technique, plan->technique);
+    EXPECT_EQ(parsed->swapsInserted, plan->swapsInserted);
+    EXPECT_EQ(parsed->blockCount, plan->blockCount);
+    EXPECT_EQ(parsed->composedBlockCount, plan->composedBlockCount);
+    EXPECT_EQ(parsed->adopted, plan->adopted);
+    EXPECT_EQ(parsed->initialLayout, plan->initialLayout);
+    EXPECT_EQ(parsed->finalLayout, plan->finalLayout);
+    EXPECT_EQ(parsed->paramVarying, plan->paramVarying);
+    EXPECT_EQ(parsed->rebindMap, plan->rebindMap);
+    expectCircuitsMatch(parsed->transpiled, plan->transpiled, 0.0);
+    expectCircuitsMatch(parsed->stitched, plan->stitched, 0.0);
+    // Round-tripping the parsed plan is byte-stable.
+    EXPECT_EQ(fleet::skeletonPlanToText(*parsed), text);
+
+    // Re-binding through the parsed plan gives the identical result.
+    const auto a = fleet::rebindMember(*plan, members[2], options);
+    const auto b = fleet::rebindMember(*parsed, members[2], options);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    expectCircuitsMatch(a->physical, b->physical, 0.0);
+
+    // Malformed text is rejected, not crashed on.
+    EXPECT_FALSE(fleet::skeletonPlanFromText("").has_value());
+    EXPECT_FALSE(fleet::skeletonPlanFromText("garbage\n").has_value());
+    EXPECT_FALSE(
+        fleet::skeletonPlanFromText(text.substr(0, text.size() / 2))
+            .has_value());
+}
+
+// ---- Fleet engine ----------------------------------------------------
+
+TEST(FleetCompile, WarmCacheServesThePlanWithoutRebuilding)
+{
+    std::vector<fleet::FleetJob> jobs;
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+        fleet::FleetJob job;
+        job.name = "m" + std::to_string(seed);
+        job.logical = vqeBenchmark(4, 1, seed);
+        jobs.push_back(std::move(job));
+    }
+
+    const std::string dir = tempDir("warm");
+    cache::CacheConfig cacheConfig;
+    cacheConfig.dir = dir;
+
+    fleet::FleetReport cold;
+    {
+        cache::ResultCache cacheStore(cacheConfig);
+        fleet::FleetOptions options;
+        options.pipeline.cache = &cacheStore;
+        cold = fleet::compileFleet(jobs, options);
+    }
+    EXPECT_EQ(cold.members, 4);
+    EXPECT_EQ(cold.groups, 1);
+    EXPECT_GE(cold.planStores, 1);
+    EXPECT_EQ(cold.planHits, 0);
+    EXPECT_EQ(cold.verifyFailures, 0);
+    EXPECT_EQ(cold.rebound + cold.fallback, cold.members);
+
+    fleet::FleetReport warm;
+    {
+        cache::ResultCache cacheStore(cacheConfig);
+        fleet::FleetOptions options;
+        options.pipeline.cache = &cacheStore;
+        warm = fleet::compileFleet(jobs, options);
+    }
+    EXPECT_GE(warm.planHits, 1);
+    EXPECT_EQ(warm.planStores, 0);
+    EXPECT_EQ(warm.verifyFailures, 0);
+    EXPECT_EQ(warm.cacheCorrupt, 0);
+    EXPECT_GT(warm.reuseRatio(), 0.9);
+
+    // Same results either way.
+    ASSERT_EQ(warm.rows.size(), cold.rows.size());
+    for (size_t i = 0; i < warm.rows.size(); ++i) {
+        EXPECT_EQ(warm.rows[i].pulses, cold.rows[i].pulses) << i;
+        EXPECT_EQ(warm.rows[i].depth, cold.rows[i].depth) << i;
+    }
+}
+
+TEST(FleetCompile, MultiTechniqueReportCoversEveryMember)
+{
+    std::vector<fleet::FleetJob> jobs;
+    for (uint64_t seed = 0; seed < 2; ++seed) {
+        fleet::FleetJob job;
+        job.name = "m" + std::to_string(seed);
+        job.logical = vqeBenchmark(4, 1, seed);
+        jobs.push_back(std::move(job));
+    }
+    fleet::FleetOptions options;
+    options.techniques = {Technique::Baseline, Technique::Geyser};
+    const fleet::FleetReport report = fleet::compileFleet(jobs, options);
+
+    EXPECT_EQ(report.members, 2);
+    EXPECT_EQ(report.jobs, 4);
+    ASSERT_EQ(report.techniques.size(), 2u);
+    EXPECT_EQ(report.techniques[0].technique, Technique::Baseline);
+    EXPECT_EQ(report.techniques[0].members, 2);
+    EXPECT_EQ(report.techniques[1].technique, Technique::Geyser);
+    // Geyser (optimized, composed) must not be worse than baseline on
+    // total pulses — the paper's core claim, embedded in the report.
+    EXPECT_LE(report.techniques[1].totalPulses,
+              report.techniques[0].totalPulses);
+
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"geyser-fleet\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"techniques\""), std::string::npos);
+    EXPECT_NE(json.find("\"reuseRatio\""), std::string::npos);
+    const std::string table = report.renderTable();
+    EXPECT_NE(table.find("Baseline"), std::string::npos) << table;
+    EXPECT_NE(table.find("Geyser"), std::string::npos);
+}
+
+// ---- Batch payload parser --------------------------------------------
+
+TEST(FleetPayload, SplitsOnSeparatorLinesAndNamesMembers)
+{
+    const std::string a = circuitToQasm(vqeBenchmark(3, 1, 0));
+    const std::string b = circuitToQasm(vqeBenchmark(3, 1, 1));
+    const auto jobs = fleet::parseFleetPayload(a + "%%\n" + b);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].name, "m0");
+    EXPECT_EQ(jobs[1].name, "m1");
+    EXPECT_EQ(jobs[0].logical.numQubits(), 3);
+    EXPECT_EQ(fleet::structureDigest(jobs[0].logical),
+              fleet::structureDigest(jobs[1].logical));
+
+    // CRLF separators and whitespace-only trailing parts are tolerated.
+    const auto crlf = fleet::parseFleetPayload(a + "%%\r\n" + b +
+                                               "%%\n  \n");
+    EXPECT_EQ(crlf.size(), 2u);
+}
+
+TEST(FleetPayload, MalformedMemberNamesItsIndex)
+{
+    const std::string good = circuitToQasm(vqeBenchmark(3, 1, 0));
+    try {
+        fleet::parseFleetPayload(good + "%%\nthis is not qasm\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("fleet member 1"),
+                  std::string::npos)
+            << e.what();
+    }
+}
